@@ -1,0 +1,46 @@
+"""A1: aggregation ablation (motivates paper Section 6.2).
+
+Message counts and simulated time with aggregation on vs. off, on both
+workloads.  Aggregation cuts messages by the batching factor while
+moving the same number of words.
+"""
+
+from repro.codegen import SPMDOptions
+from repro.runtime import run_spmd
+from workloads import IPSC, fig2_compiled, lu_compiled
+
+
+def build():
+    rows = []
+    for name, builder, params in (
+        ("figure2", fig2_compiled, {"N": 70, "T": 4, "P": 3}),
+        ("lu", lu_compiled, {"N": 16, "P": 4}),
+    ):
+        for agg in (True, False):
+            opts = SPMDOptions(aggregate=agg)
+            if builder is fig2_compiled:
+                _p, _c, spmd = builder(options=opts)
+            else:
+                _p, _c, spmd = builder(options=opts)
+            res = run_spmd(spmd, params, cost=IPSC)
+            rows.append(
+                (name, "on" if agg else "off", res.total_messages,
+                 res.total_words, res.makespan)
+            )
+    return rows
+
+
+def test_ablation_aggregation(benchmark, report):
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("A1: message aggregation ablation (Section 6.2)")
+    report(f"{'workload':>9} {'agg':>4} {'msgs':>6} {'words':>7} {'time':>10}")
+    for name, agg, msgs, words, makespan in rows:
+        report(f"{name:>9} {agg:>4} {msgs:>6} {words:>7} {makespan:>10.0f}")
+    by_key = {(r[0], r[1]): r for r in rows}
+    for name in ("figure2", "lu"):
+        on = by_key[(name, "on")]
+        off = by_key[(name, "off")]
+        assert on[2] < off[2], f"{name}: aggregation must cut messages"
+        assert on[4] <= off[4], f"{name}: aggregation must not slow down"
+    report("")
+    report("aggregation reduces messages (same words) and simulated time")

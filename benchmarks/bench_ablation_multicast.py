@@ -1,0 +1,42 @@
+"""A3: multicast ablation (Section 6.2.1).
+
+The LU pivot-row message is receiver-independent; with multicast the
+sender packs once and addresses each physical processor, and co-resident
+virtual processors share one delivery.  Without it, every receiver gets
+a separately-sent copy.
+"""
+
+from repro.codegen import SPMDOptions
+from repro.runtime import check_against_sequential, run_spmd
+from workloads import IPSC, lu_compiled
+
+
+def build():
+    params = {"N": 16, "P": 4}
+    out = {}
+    for name, opts in (
+        ("multicast", SPMDOptions()),
+        ("unicast", SPMDOptions(multicast=False)),
+    ):
+        _p, comps, spmd = lu_compiled(options=opts)
+        res = check_against_sequential(spmd, comps, params, cost=IPSC)
+        out[name] = res
+    return out
+
+
+def test_ablation_multicast(benchmark, report):
+    out = benchmark.pedantic(build, rounds=1, iterations=1)
+    mc, uc = out["multicast"], out["unicast"]
+    report("A3: multicast ablation (Section 6.2.1), LU N=16 P=4")
+    report(f"{'variant':>10} {'msgs':>6} {'words':>7} {'multicasts':>11} "
+           f"{'time':>10}")
+    report(f"{'multicast':>10} {mc.total_messages:>6} {mc.total_words:>7} "
+           f"{mc.stat_sum('multicasts'):>11.0f} {mc.makespan:>10.0f}")
+    report(f"{'unicast':>10} {uc.total_messages:>6} {uc.total_words:>7} "
+           f"{uc.stat_sum('multicasts'):>11.0f} {uc.makespan:>10.0f}")
+    assert mc.stat_sum("multicasts") > 0
+    assert uc.stat_sum("multicasts") == 0
+    assert mc.total_messages <= uc.total_messages
+    assert mc.makespan <= uc.makespan
+    report("")
+    report("multicast packs once and cuts messages and simulated time")

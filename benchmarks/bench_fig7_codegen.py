@@ -1,0 +1,35 @@
+"""F7: computation and communication code for Figure 2 (paper Figure 7).
+
+Checks the generated node program against the figure:
+(a) computation bounds  i = MAX(32p, 3) .. MIN(32p + 31, N);
+(b) the virtual-processor loop strides by P;
+(c)/(d) receive/send fragments exchange exactly the 3 boundary values
+        between adjacent processors.
+"""
+
+from repro.runtime import run_spmd
+from workloads import fig2_compiled
+
+
+def test_fig7_codegen(benchmark, report):
+    _program, comps, spmd = benchmark(lambda: fig2_compiled())
+
+    report("F7: generated SPMD code for Figure 2 (paper Figure 7)")
+    report(spmd.c_text)
+    text = spmd.c_text
+
+    # (a) computation bounds
+    assert "for i = MAX(3, 32*p0) to MIN(N, 32*p0 + 31)" in text
+    # (b) cyclic virtual processor loop (Figure 7(b))
+    assert "step P do" in text
+    # (c)/(d): receive from p-1, send to p+1
+    assert "p0$s = p0 - 1" in text or "MAX(0, p0 - 1) to p0 - 1" in text
+    assert "p0 + 1" in text
+
+    res = run_spmd(spmd, {"N": 70, "T": 1, "P": 3})
+    report(f"execution: {res.total_messages} messages, "
+           f"{res.total_words} words (N=70, T=1, P=3)")
+    # 2 boundaries x 2 time steps, 3 words each
+    assert res.total_messages == 4
+    assert res.total_words == 12
+    report("paper Figure 7 structure: reproduced")

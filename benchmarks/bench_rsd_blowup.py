@@ -1,0 +1,32 @@
+"""C1: regular-section inflation on A[1000i + j] (paper Section 2.2.3).
+
+"Representing the data accessed as a regular section descriptor would
+increase the amount of communication by a factor of 20."  The triangle
+1 <= i <= 100, i <= j <= 100 touches 5050 distinct elements; the dense
+section hull spans ~99100.
+"""
+
+from repro import parse
+from repro.baselines import exact_touched_count, section_of_access
+from workloads import SPARSE_SRC
+
+
+def build():
+    program = parse(SPARSE_SRC)
+    stmt = program.statements()[0]
+    domain = stmt.domain()
+    rsd = section_of_access(stmt.reads[0], domain, {})
+    exact = exact_touched_count(stmt.reads[0], domain, {})
+    return rsd, exact
+
+
+def test_rsd_blowup(benchmark, report):
+    rsd, exact = benchmark(build)
+    inflation = rsd.count() / exact
+    report("C1: RSD traffic inflation on A[1000i + j] (Section 2.2.3)")
+    report(f"regular section: {rsd} -> {rsd.count()} words")
+    report(f"elements used:   {exact} words")
+    report(f"inflation:       {inflation:.1f}x")
+    report("paper claim:     ~20x")
+    assert exact == 5050
+    assert 15.0 < inflation < 25.0

@@ -1,0 +1,77 @@
+"""Substrate microbenchmarks: the polyhedral machinery's performance.
+
+Not a paper artifact, but the foundation every experiment stands on:
+integer feasibility (the paper's FM + branch-and-bound), scanning, and
+parametric lexmax must be fast enough that whole-kernel compilation
+stays inside Section 7's 2.9 s budget.
+"""
+
+from repro.polyhedra import (
+    System,
+    integer_feasible,
+    parametric_lexmax,
+    remove_redundant,
+    scan,
+    var,
+)
+
+
+def lu_like_system():
+    """A communication-set-sized system (approx. 20 constraints, 8 vars)."""
+    sys_ = System()
+    n = var("N")
+    for v in ("i1", "i2", "i3", "i1s", "i2s", "i3s"):
+        sys_.add_range(var(v), 0, n)
+    sys_.add_le(var("i1") + 1, var("i2"))
+    sys_.add_le(var("i1") + 1, var("i3"))
+    sys_.add_eq(var("i1s"), var("i1") - 1)
+    sys_.add_eq(var("i2s"), var("i1"))
+    sys_.add_eq(var("i3s"), var("i3"))
+    sys_.add_range(var("ps"), 0, n)
+    sys_.add_range(var("pr"), 0, n)
+    sys_.add_eq(var("ps"), var("i2s"))
+    sys_.add_eq(var("pr"), var("i2"))
+    sys_.add_lt(var("ps"), var("pr"))
+    sys_.add_inequality(n - 1)
+    return sys_
+
+
+def test_integer_feasibility(benchmark, report):
+    sys_ = lu_like_system()
+    result = benchmark(lambda: integer_feasible(sys_))
+    assert result
+    mean_us = benchmark.stats.stats.mean * 1e6
+    report("substrate: Omega integer feasibility on a comm-set-sized "
+           f"system: {mean_us:.0f} us/query")
+
+
+def test_scanning(benchmark, report):
+    sys_ = lu_like_system()
+    order = ["ps", "pr", "i1s", "i2s", "i3s", "i1", "i2", "i3"]
+    result = benchmark(lambda: scan(sys_, order))
+    assert len(result.loops) == 8
+    mean_ms = benchmark.stats.stats.mean * 1e3
+    report(f"substrate: 8-level Ancourt-Irigoin scan: {mean_ms:.1f} ms")
+
+
+def test_redundancy_removal(benchmark, report):
+    sys_ = lu_like_system()
+    result = benchmark(lambda: remove_redundant(sys_))
+    assert len(result.inequalities) <= len(sys_.inequalities)
+    mean_ms = benchmark.stats.stats.mean * 1e3
+    report("substrate: superfluous-constraint elimination: "
+           f"{mean_ms:.1f} ms")
+
+
+def test_parametric_lexmax(benchmark, report):
+    sys_ = System()
+    sys_.add_range(var("iw"), 3, var("N"))
+    sys_.add_range(var("tw"), 0, var("T"))
+    sys_.add_eq(var("iw"), var("ir") - 3)
+    sys_.add_le(var("tw"), var("tr"))
+    pieces = benchmark(
+        lambda: parametric_lexmax(sys_, ["tw", "iw"])
+    )
+    assert pieces
+    mean_ms = benchmark.stats.stats.mean * 1e3
+    report(f"substrate: parametric lexmax: {mean_ms:.2f} ms")

@@ -1,0 +1,40 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure/claim from the paper's
+evaluation; results are printed and also appended to
+``benchmarks/results.txt`` so they survive pytest's output capture.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def _reset_results():
+    with open(RESULTS_PATH, "w") as fh:
+        fh.write("reproduction benchmark results\n")
+        fh.write("=" * 60 + "\n")
+
+
+_reset_results()
+
+
+@pytest.fixture
+def report():
+    """Collects lines and writes them to results.txt at teardown."""
+    lines = []
+
+    def add(text=""):
+        lines.append(str(text))
+
+    yield add
+    text = "\n".join(lines)
+    print("\n" + text)
+    with open(RESULTS_PATH, "a") as fh:
+        fh.write(text + "\n" + "-" * 60 + "\n")

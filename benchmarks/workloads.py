@@ -1,0 +1,72 @@
+"""The paper's workloads, shared by every benchmark."""
+
+from repro import block_loop, generate_spmd, onto, parse
+from repro.polyhedra import var
+from repro.runtime import CostModel
+
+FIG2_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+FIG8_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = f(X[i], X[i - 1], X[i - 2], X[i - 3])
+"""
+
+LU_SRC = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+PIPE_SRC = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+
+SPARSE_SRC = """
+array A[110000]
+for i = 1 to 100 do
+  for j = i to 100 do
+    A[0] = A[1000 * i + j]
+"""
+
+#: abstract cost model with iPSC/860-like ratios
+IPSC = CostModel(
+    flop_time=1.0, alpha=400.0, beta=4.0, latency=100.0, recv_overhead=100.0
+)
+
+
+def fig2_compiled(block_size=32, options=None):
+    program = parse(FIG2_SRC, name="figure2")
+    stmt = program.statements()[0]
+    comp = block_loop(stmt, ["i"], [block_size])
+    comps = {stmt.name: comp}
+    return program, comps, generate_spmd(program, comps, options=options)
+
+
+def lu_compiled(options=None):
+    program = parse(LU_SRC, name="lu")
+    s1 = program.statement("s1")
+    s2 = program.statement("s2")
+    comps = {"s1": onto(s1, [var("i2")])}
+    comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
+    return program, comps, generate_spmd(program, comps, options=options)

@@ -1,0 +1,9 @@
+"""Make `src/` importable even when the package is not pip-installed
+(the offline sandbox lacks `wheel`, which PEP 517 editable installs need;
+`python setup.py develop` works, and this shim makes plain pytest work too).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

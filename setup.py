@@ -1,0 +1,8 @@
+"""Legacy setup shim so `pip install -e .` works without network access
+(the sandbox lacks the `wheel` package needed for PEP 517 editable builds).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

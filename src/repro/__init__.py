@@ -1,0 +1,55 @@
+"""repro: a reproduction of Amarasinghe & Lam, "Communication Optimization
+and Code Generation for Distributed Memory Machines" (PLDI 1993).
+
+Given an affine loop-nest program, a computation decomposition, and
+initial/final data decompositions, this package generates an optimized
+SPMD node program with explicit sends and receives, and can execute it
+on a deterministic distributed-memory machine simulator.
+
+See ``examples/quickstart.py`` for the full walk-through.
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, codegen, core, dataflow, decomp, ir, lang, polyhedra, runtime
+from .codegen import SPMD, SPMDOptions, generate_spmd
+from .core import (
+    communication_report,
+    compile_distributed,
+    compile_owner_computes,
+)
+from .dataflow import last_write_tree
+from .decomp import ProcSpace, block, block_loop, cyclic, onto, owner_computes, replicated
+from .lang import parse
+from .runtime import CostModel, Machine, check_against_sequential, run_spmd
+
+__all__ = [
+    "CostModel",
+    "Machine",
+    "ProcSpace",
+    "SPMD",
+    "SPMDOptions",
+    "baselines",
+    "block",
+    "block_loop",
+    "check_against_sequential",
+    "codegen",
+    "communication_report",
+    "compile_distributed",
+    "compile_owner_computes",
+    "core",
+    "cyclic",
+    "dataflow",
+    "decomp",
+    "generate_spmd",
+    "ir",
+    "lang",
+    "last_write_tree",
+    "onto",
+    "owner_computes",
+    "parse",
+    "polyhedra",
+    "replicated",
+    "run_spmd",
+    "runtime",
+]

@@ -1,0 +1,21 @@
+"""Baselines the paper compares against: regular section descriptors and
+the location-centric (FORTRAN-D-style) communication model."""
+
+from .fortran_d import (
+    LocationCentricReport,
+    ReadTraffic,
+    analyze_program,
+    analyze_read,
+)
+from .rsd import RSD, Section, exact_touched_count, section_of_access
+
+__all__ = [
+    "LocationCentricReport",
+    "RSD",
+    "ReadTraffic",
+    "Section",
+    "analyze_program",
+    "analyze_read",
+    "exact_touched_count",
+    "section_of_access",
+]

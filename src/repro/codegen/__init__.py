@@ -1,0 +1,54 @@
+"""Code generation: CAST trees, polyhedron-scan conversion, SPMD
+assembly, and the C-like / Python emitters."""
+
+from .cast import (
+    CAssign,
+    CBlock,
+    CCompute,
+    CFor,
+    CGuard,
+    CNode,
+    CondBounds,
+    CondDiv,
+    CondEQ,
+    CondGE,
+    CondNeqPhys,
+    CPack,
+    CRecv,
+    CSend,
+    CSendMulti,
+    CUnpack,
+    CVirtLoop,
+    compile_node_program,
+    emit_c,
+)
+from .genloops import scan_to_cast, scan_to_cast_with_boundary
+from .spmd import SPMD, SPMDGenerationError, SPMDOptions, generate_spmd
+
+__all__ = [
+    "CAssign",
+    "CBlock",
+    "CCompute",
+    "CFor",
+    "CGuard",
+    "CNode",
+    "CondBounds",
+    "CondDiv",
+    "CondEQ",
+    "CondGE",
+    "CondNeqPhys",
+    "CPack",
+    "CRecv",
+    "CSend",
+    "CSendMulti",
+    "CUnpack",
+    "CVirtLoop",
+    "SPMD",
+    "SPMDGenerationError",
+    "SPMDOptions",
+    "compile_node_program",
+    "emit_c",
+    "generate_spmd",
+    "scan_to_cast",
+    "scan_to_cast_with_boundary",
+]

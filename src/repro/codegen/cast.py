@@ -1,0 +1,549 @@
+"""The generated-code AST ("CAST") and its two emitters.
+
+Code generation produces a small imperative tree: loops with
+quasi-affine bounds, guards, degenerate assignments, statement
+executions, message packs/sends and receives/unpacks.  The same tree
+pretty-prints as C-like text (for inspection and for reproducing the
+paper's Figures 7, 10 and 13) and emits executable Python (run on the
+:mod:`repro.runtime` machine simulator).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..ir import Statement
+from ..polyhedra import (
+    BExpr,
+    CeilDiv,
+    Combo,
+    FloorDiv,
+    Lin,
+    LinExpr,
+    MaxE,
+    MinE,
+    ModE,
+)
+
+# -- conditions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CondGE:
+    """``expr >= 0``."""
+
+    expr: LinExpr
+
+
+@dataclass(frozen=True)
+class CondEQ:
+    """``expr == 0``."""
+
+    expr: LinExpr
+
+
+@dataclass(frozen=True)
+class CondDiv:
+    """``expr mod modulus == 0``."""
+
+    expr: LinExpr
+    modulus: int
+
+
+@dataclass(frozen=True)
+class CondBounds:
+    """``lower <= var <= upper`` with generated bound expressions."""
+
+    var: str
+    lower: Optional[BExpr]
+    upper: Optional[BExpr]
+
+
+@dataclass(frozen=True)
+class CondNeqPhys:
+    """``pi(left) != pi(right)``: different physical processors.
+
+    Implements the dynamic part of Section 6.1.3 (cyclic-emulation
+    redundancy): messages between virtual processors folded onto the
+    same physical processor are skipped on both sides.
+    """
+
+    left: Tuple[BExpr, ...]
+    right: Tuple[BExpr, ...]
+
+
+Cond = Union[CondGE, CondEQ, CondDiv, CondBounds, CondNeqPhys]
+
+
+# -- nodes ---------------------------------------------------------------------
+
+
+class CNode:
+    pass
+
+
+@dataclass
+class CBlock(CNode):
+    children: List[CNode] = field(default_factory=list)
+
+
+@dataclass
+class CFor(CNode):
+    var: str
+    lower: BExpr
+    upper: BExpr
+    body: CBlock
+    step: int = 1
+
+
+@dataclass
+class CVirtLoop(CNode):
+    """Iterate the virtual processors of this physical processor:
+
+        for var = myp + P*ceil((lower - myp)/P) to upper step P
+
+    ``dim`` selects the processor dimension (myp{dim} / P{dim} at
+    runtime; the 1-D case uses ``myp`` and ``P``).
+    """
+
+    var: str
+    lower: BExpr
+    upper: BExpr
+    dim: int
+    rank: int
+    body: CBlock
+
+
+@dataclass
+class CAssign(CNode):
+    var: str
+    value: BExpr
+
+
+@dataclass
+class CGuard(CNode):
+    conds: List[Cond]
+    body: CBlock
+
+
+@dataclass
+class CCompute(CNode):
+    stmt: Statement
+
+
+@dataclass
+class CNewBuffer(CNode):
+    name: str
+
+
+@dataclass
+class CPack(CNode):
+    buffer: str
+    array: str
+    indices: Tuple[BExpr, ...]
+
+
+@dataclass
+class CSend(CNode):
+    """Send ``buffer`` to the physical processor hosting virtual
+    ``dest``; the tag identifies the message across the whole run."""
+
+    buffer: str
+    dest: Tuple[BExpr, ...]
+    tag_label: str
+    tag_exprs: Tuple[BExpr, ...]
+
+
+@dataclass
+class CSendMulti(CNode):
+    """Multicast: send one buffer to every distinct physical processor
+    collected in ``dest_set`` (a runtime set variable)."""
+
+    buffer: str
+    dest_set: str
+    tag_label: str
+    tag_exprs: Tuple[BExpr, ...]
+
+
+@dataclass
+class CCollectDest(CNode):
+    """Add pi(dest) to a destination set (multicast address gathering).
+
+    ``exclude_self``: skip when the destination is this processor.
+    """
+
+    dest_set: str
+    dest: Tuple[BExpr, ...]
+    exclude_self: bool = True
+
+
+@dataclass
+class CNewDestSet(CNode):
+    name: str
+
+
+@dataclass
+class CRecv(CNode):
+    """Receive into ``buffer`` from the physical host of virtual ``src``.
+
+    ``multicast`` marks messages addressed per physical processor: the
+    runtime caches them so every virtual processor emulated here can
+    consume the same payload (Section 6.1.3's one-message-per-physical
+    optimization).
+    """
+
+    buffer: str
+    src: Tuple[BExpr, ...]
+    tag_label: str
+    tag_exprs: Tuple[BExpr, ...]
+    multicast: bool = False
+
+
+@dataclass
+class CUnpack(CNode):
+    buffer: str
+    array: str
+    indices: Tuple[BExpr, ...]
+
+
+@dataclass
+class CComment(CNode):
+    text: str
+
+
+_BUF_IDS = itertools.count()
+
+
+def fresh_buffer() -> str:
+    return f"buf{next(_BUF_IDS)}"
+
+
+# ---------------------------------------------------------------------------
+# C-like pretty printer (Figures 7, 10, 13 style)
+# ---------------------------------------------------------------------------
+
+def _c_expr(e: BExpr) -> str:
+    if isinstance(e, Lin):
+        return str(e.expr)
+    if isinstance(e, CeilDiv):
+        return f"ceild({_c_expr(e.num)}, {e.den})"
+    if isinstance(e, FloorDiv):
+        return f"floord({_c_expr(e.num)}, {e.den})"
+    if isinstance(e, MaxE):
+        return "MAX(" + ", ".join(_c_expr(i) for i in e.items) + ")"
+    if isinstance(e, MinE):
+        return "MIN(" + ", ".join(_c_expr(i) for i in e.items) + ")"
+    if isinstance(e, ModE):
+        return f"(({_c_expr(e.num)}) % {e.den})"
+    if isinstance(e, Combo):
+        parts = []
+        for coef, item in e.terms:
+            parts.append(
+                _c_expr(item) if coef == 1 else f"{coef} * ({_c_expr(item)})"
+            )
+        text = " + ".join(parts)
+        if e.const:
+            text += f" + {e.const}" if e.const > 0 else f" - {-e.const}"
+        return text
+    raise TypeError(e)
+
+
+def _c_cond(cond: Cond) -> str:
+    if isinstance(cond, CondGE):
+        return f"{cond.expr} >= 0"
+    if isinstance(cond, CondEQ):
+        return f"{cond.expr} == 0"
+    if isinstance(cond, CondDiv):
+        return f"({cond.expr}) % {cond.modulus} == 0"
+    if isinstance(cond, CondBounds):
+        parts = []
+        if cond.lower is not None:
+            parts.append(f"{cond.var} >= {_c_expr(cond.lower)}")
+        if cond.upper is not None:
+            parts.append(f"{cond.var} <= {_c_expr(cond.upper)}")
+        return " and ".join(parts) if parts else "true"
+    if isinstance(cond, CondNeqPhys):
+        l = ", ".join(_c_expr(e) for e in cond.left)
+        r = ", ".join(_c_expr(e) for e in cond.right)
+        return f"phys({l}) != phys({r})"
+    raise TypeError(cond)
+
+
+def emit_c(node: CNode, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(node, CBlock):
+        return "\n".join(
+            emit_c(child, indent) for child in node.children if child
+        )
+    if isinstance(node, CFor):
+        step = f" step {node.step}" if node.step != 1 else ""
+        head = (
+            f"{pad}for {node.var} = {_c_expr(node.lower)} to "
+            f"{_c_expr(node.upper)}{step} do"
+        )
+        return head + "\n" + emit_c(node.body, indent + 1)
+    if isinstance(node, CVirtLoop):
+        myp = "myp" if node.rank == 1 else f"myp{node.dim}"
+        pp = "P" if node.rank == 1 else f"P{node.dim}"
+        head = (
+            f"{pad}for {node.var} = {myp} + {pp} * "
+            f"ceild({_c_expr(node.lower)} - {myp}, {pp}) to "
+            f"{_c_expr(node.upper)} step {pp} do"
+        )
+        return head + "\n" + emit_c(node.body, indent + 1)
+    if isinstance(node, CAssign):
+        return f"{pad}{node.var} = {_c_expr(node.value)}"
+    if isinstance(node, CGuard):
+        conds = " and ".join(_c_cond(c) for c in node.conds) or "true"
+        return f"{pad}if {conds} then\n" + emit_c(node.body, indent + 1)
+    if isinstance(node, CCompute):
+        return f"{pad}{node.stmt.text or node.stmt.name}"
+    if isinstance(node, CNewBuffer):
+        return f"{pad}{node.name} = new buffer"
+    if isinstance(node, CPack):
+        idx = "][".join(_c_expr(e) for e in node.indices)
+        return f"{pad}{node.buffer}[idx++] = {node.array}[{idx}]"
+    if isinstance(node, CSend):
+        dst = ", ".join(_c_expr(e) for e in node.dest)
+        return f"{pad}send {node.buffer} to phys({dst})  /* {node.tag_label} */"
+    if isinstance(node, CSendMulti):
+        return (
+            f"{pad}multicast {node.buffer} to {node.dest_set}"
+            f"  /* {node.tag_label} */"
+        )
+    if isinstance(node, CCollectDest):
+        dst = ", ".join(_c_expr(e) for e in node.dest)
+        return f"{pad}{node.dest_set} += phys({dst})"
+    if isinstance(node, CNewDestSet):
+        return f"{pad}{node.name} = new destination set"
+    if isinstance(node, CRecv):
+        src = ", ".join(_c_expr(e) for e in node.src)
+        return (
+            f"{pad}receive {node.buffer} from phys({src})"
+            f"  /* {node.tag_label} */"
+        )
+    if isinstance(node, CUnpack):
+        idx = "][".join(_c_expr(e) for e in node.indices)
+        return f"{pad}{node.array}[{idx}] = {node.buffer}[idx++]"
+    if isinstance(node, CComment):
+        return f"{pad}/* {node.text} */"
+    raise TypeError(node)
+
+
+# ---------------------------------------------------------------------------
+# Python emitter (executable on the runtime simulator)
+# ---------------------------------------------------------------------------
+
+def _san(name: str) -> str:
+    """Sanitize a variable name for Python source."""
+    return name.replace("$", "__")
+
+
+def _py_expr(e: BExpr) -> str:
+    if isinstance(e, Lin):
+        parts = []
+        for v, c in sorted(e.expr.terms()):
+            parts.append(f"{c}*{_san(v)}")
+        parts.append(str(e.expr.const))
+        return "(" + " + ".join(parts) + ")"
+    if isinstance(e, CeilDiv):
+        return f"(-((-{_py_expr(e.num)}) // {e.den}))"
+    if isinstance(e, FloorDiv):
+        return f"({_py_expr(e.num)} // {e.den})"
+    if isinstance(e, MaxE):
+        return "max(" + ", ".join(_py_expr(i) for i in e.items) + ")"
+    if isinstance(e, MinE):
+        return "min(" + ", ".join(_py_expr(i) for i in e.items) + ")"
+    if isinstance(e, ModE):
+        return f"({_py_expr(e.num)} % {e.den})"
+    if isinstance(e, Combo):
+        parts = [f"{coef}*({_py_expr(item)})" for coef, item in e.terms]
+        parts.append(str(e.const))
+        return "(" + " + ".join(parts) + ")"
+    raise TypeError(e)
+
+
+def _py_phys(exprs: Sequence[BExpr], rank: int) -> str:
+    dims = []
+    for k, e in enumerate(exprs):
+        pname = "_P" if rank == 1 else f"_P{k}"
+        dims.append(f"({_py_expr(e)}) % {pname}")
+    return "(" + ", ".join(dims) + ("," if len(dims) == 1 else "") + ")"
+
+
+def _py_cond(cond: Cond, rank: int) -> str:
+    if isinstance(cond, CondGE):
+        return f"{_py_expr(Lin(cond.expr))} >= 0"
+    if isinstance(cond, CondEQ):
+        return f"{_py_expr(Lin(cond.expr))} == 0"
+    if isinstance(cond, CondDiv):
+        return f"{_py_expr(Lin(cond.expr))} % {cond.modulus} == 0"
+    if isinstance(cond, CondBounds):
+        parts = []
+        if cond.lower is not None:
+            parts.append(f"{_san(cond.var)} >= {_py_expr(cond.lower)}")
+        if cond.upper is not None:
+            parts.append(f"{_san(cond.var)} <= {_py_expr(cond.upper)}")
+        return " and ".join(parts) if parts else "True"
+    if isinstance(cond, CondNeqPhys):
+        return f"{_py_phys(cond.left, rank)} != {_py_phys(cond.right, rank)}"
+    raise TypeError(cond)
+
+
+class PyEmitter:
+    """Emit a CAST tree as the body of a node program.
+
+    The generated function has signature ``node(proc)`` and relies on
+    the :class:`repro.runtime.Processor` API: ``proc.params``,
+    ``proc.myp``, ``proc.arrays``, ``proc.execute``, ``proc.send``,
+    ``proc.recv``, ``proc.pack_cost``.
+    """
+
+    def __init__(self, rank: int, params: Sequence[str]):
+        self.rank = rank
+        self.params = list(params)
+        self.lines: List[str] = []
+
+    def header(self) -> List[str]:
+        out = ["def node(proc):"]
+        for p in self.params:
+            out.append(f"    {_san(p)} = proc.params[{p!r}]")
+        for k in range(self.rank):
+            pname = "_P" if self.rank == 1 else f"_P{k}"
+            out.append(f"    {pname} = proc.pdims[{k}]")
+            myp = "myp" if self.rank == 1 else f"myp{k}"
+            out.append(f"    {myp} = proc.myp[{k}]")
+        out.append("    arrays = proc.arrays")
+        return out
+
+    def emit(self, node: CNode, indent: int) -> None:
+        pad = "    " * indent
+        if isinstance(node, CBlock):
+            emitted = False
+            for child in node.children:
+                before = len(self.lines)
+                self.emit(child, indent)
+                emitted = emitted or len(self.lines) > before
+            if not emitted:
+                self.lines.append(pad + "pass")
+            return
+        if isinstance(node, CFor):
+            self.lines.append(
+                f"{pad}for {_san(node.var)} in range({_py_expr(node.lower)}, "
+                f"{_py_expr(node.upper)} + 1, {node.step}):"
+            )
+            self.emit(node.body, indent + 1)
+            return
+        if isinstance(node, CVirtLoop):
+            myp = "myp" if node.rank == 1 else f"myp{node.dim}"
+            pp = "_P" if node.rank == 1 else f"_P{node.dim}"
+            lo = _py_expr(node.lower)
+            self.lines.append(
+                f"{pad}for {_san(node.var)} in range("
+                f"{myp} + {pp} * (-((-({lo} - {myp})) // {pp})), "
+                f"{_py_expr(node.upper)} + 1, {pp}):"
+            )
+            self.emit(node.body, indent + 1)
+            return
+        if isinstance(node, CAssign):
+            self.lines.append(
+                f"{pad}{_san(node.var)} = {_py_expr(node.value)}"
+            )
+            return
+        if isinstance(node, CGuard):
+            conds = " and ".join(
+                _py_cond(c, self.rank) for c in node.conds
+            ) or "True"
+            self.lines.append(f"{pad}if {conds}:")
+            self.emit(node.body, indent + 1)
+            return
+        if isinstance(node, CCompute):
+            stmt = node.stmt
+            env_items = ", ".join(
+                f"{v!r}: {_san(v)}" for v in stmt.iter_vars
+            )
+            self.lines.append(
+                f"{pad}proc.execute({stmt.name!r}, {{{env_items}}})"
+            )
+            return
+        if isinstance(node, CNewBuffer):
+            self.lines.append(f"{pad}{node.name} = []")
+            return
+        if isinstance(node, CPack):
+            idx = ", ".join(_py_expr(e) for e in node.indices)
+            comma = "," if len(node.indices) == 1 else ""
+            self.lines.append(
+                f"{pad}{node.buffer}.append("
+                f"arrays[{node.array!r}][({idx}{comma})])"
+            )
+            return
+        if isinstance(node, CSend):
+            dst = _py_phys(node.dest, self.rank)
+            tag = self._tag(node.tag_label, node.tag_exprs)
+            self.lines.append(
+                f"{pad}proc.send({dst}, {tag}, {node.buffer})"
+            )
+            return
+        if isinstance(node, CNewDestSet):
+            self.lines.append(f"{pad}{node.name} = set()")
+            return
+        if isinstance(node, CCollectDest):
+            dst = _py_phys(node.dest, self.rank)
+            if node.exclude_self:
+                self.lines.append(f"{pad}if {dst} != proc.myp:")
+                self.lines.append(f"{pad}    {node.dest_set}.add({dst})")
+            else:
+                self.lines.append(f"{pad}{node.dest_set}.add({dst})")
+            return
+        if isinstance(node, CSendMulti):
+            tag = self._tag(node.tag_label, node.tag_exprs)
+            self.lines.append(
+                f"{pad}proc.multicast(sorted({node.dest_set}), {tag}, "
+                f"{node.buffer})"
+            )
+            return
+        if isinstance(node, CRecv):
+            src = _py_phys(node.src, self.rank)
+            tag = self._tag(node.tag_label, node.tag_exprs)
+            fn = "recv_mc" if node.multicast else "recv"
+            self.lines.append(
+                f"{pad}{node.buffer} = proc.{fn}({src}, {tag})"
+            )
+            self.lines.append(f"{pad}{node.buffer}_i = 0")
+            return
+        if isinstance(node, CUnpack):
+            idx = ", ".join(_py_expr(e) for e in node.indices)
+            comma = "," if len(node.indices) == 1 else ""
+            self.lines.append(
+                f"{pad}arrays[{node.array!r}][({idx}{comma})] = "
+                f"{node.buffer}[{node.buffer}_i]"
+            )
+            self.lines.append(f"{pad}{node.buffer}_i += 1")
+            return
+        if isinstance(node, CComment):
+            self.lines.append(f"{pad}# {node.text}")
+            return
+        raise TypeError(node)
+
+    @staticmethod
+    def _tag(label: str, exprs: Sequence[BExpr]) -> str:
+        parts = [repr(label)] + [_py_expr(e) for e in exprs]
+        return "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+
+    def source(self, tree: CNode) -> str:
+        self.lines = self.header()
+        self.emit(tree, 1)
+        return "\n".join(self.lines) + "\n"
+
+
+def compile_node_program(tree: CNode, rank: int, params: Sequence[str]):
+    """Compile a CAST tree into a callable ``node(proc)``."""
+    emitter = PyEmitter(rank, params)
+    src = emitter.source(tree)
+    namespace: dict = {}
+    exec(compile(src, "<node-program>", "exec"), namespace)  # noqa: S102
+    fn = namespace["node"]
+    fn.__source__ = src
+    return fn

@@ -1,0 +1,218 @@
+"""Local address spaces (paper Section 5.5).
+
+A processor touches only part of each array, so per-processor storage
+should cover just that part.  The paper's simple scheme: allocate the
+smallest rectangular bounding box covering every element the processor
+reads or writes, obtained by scanning the touched set lexicographically
+in (p, a_k, i) order -- the bounds on a_k, as expressions of p, are the
+box for dimension k.  Global-to-local translation subtracts the box's
+lower corner.
+
+The executable runtime keeps globally-addressed arrays (NaN-poisoned
+outside the owned region) because that turns addressing bugs into
+detectable wrong values; this module supplies the allocation analysis
+itself -- box expressions, per-processor sizes, and the savings report
+that the memory benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..decomp import CompDecomp
+from ..ir import Access, Array, Program
+from ..polyhedra import (
+    BExpr,
+    EmptyPolyhedronError,
+    LinExpr,
+    System,
+    scan,
+)
+
+
+@dataclass
+class DimBox:
+    """Bounds of one array dimension as functions of the processor."""
+
+    lower: BExpr
+    upper: BExpr
+
+    def extent(self, env: Mapping[str, int]) -> int:
+        return max(0, self.upper.evaluate(env) - self.lower.evaluate(env) + 1)
+
+
+@dataclass
+class LocalBox:
+    """The bounding box of one array on one (symbolic) processor."""
+
+    array: Array
+    dims: Tuple[DimBox, ...]
+
+    def shape(self, env: Mapping[str, int]) -> Tuple[int, ...]:
+        return tuple(d.extent(env) for d in self.dims)
+
+    def size(self, env: Mapping[str, int]) -> int:
+        total = 1
+        for d in self.dims:
+            total *= d.extent(env)
+        return total
+
+    def translate(
+        self, element: Tuple[int, ...], env: Mapping[str, int]
+    ) -> Tuple[int, ...]:
+        """Global-to-local address translation: subtract the lower corner."""
+        return tuple(
+            a - d.lower.evaluate(env) for a, d in zip(element, self.dims)
+        )
+
+    def describe(self) -> str:
+        dims = " x ".join(
+            f"[{d.lower} .. {d.upper}]" for d in self.dims
+        )
+        return f"{self.array.name}: {dims}"
+
+
+def _touched_system(
+    comp: CompDecomp,
+    access: Access,
+    pvars: Tuple[str, ...],
+    a_names: Tuple[str, ...],
+    assumptions: System,
+) -> System:
+    """{ a | exists i : (i, p) in C and a = f(i) } before projection."""
+    system = comp.system(pvars).intersect(assumptions)
+    for name, expr in zip(a_names, access.indices):
+        system.add_eq(LinExpr.var(name), expr)
+    return system
+
+
+def bounding_box(
+    program: Program,
+    comps: Dict[str, CompDecomp],
+    array: Array,
+    pvars: Optional[Tuple[str, ...]] = None,
+    writes_only: bool = False,
+) -> Optional[LocalBox]:
+    """The union bounding box over every access to ``array``.
+
+    Scans each access's touched set in (p, a_k, i) order; the per-access
+    boxes are merged by taking min/max of the bound expressions (as the
+    paper does for multiple accesses to the same array).  Returns None
+    when no statement touches the array.
+
+    ``writes_only``: box only the written elements -- the paper's LU
+    treatment (Section 7), where reads of remote data live in a
+    communication buffer instead of the local array.
+    """
+    space = next(iter(comps.values())).space
+    if pvars is None:
+        pvars = tuple(f"p{k}" for k in range(space.rank))
+    a_names = tuple(f"a{k}" for k in range(array.rank))
+    per_dim_lowers: List[List[BExpr]] = [[] for _ in range(array.rank)]
+    per_dim_uppers: List[List[BExpr]] = [[] for _ in range(array.rank)]
+    touched_any = False
+    for stmt in program.statements():
+        accesses = [stmt.lhs] if writes_only else [stmt.lhs, *stmt.reads]
+        for access in accesses:
+            if access.array is not array:
+                continue
+            system = _touched_system(
+                comps[stmt.name], access, pvars, a_names,
+                program.assumptions,
+            )
+            for k, a_name in enumerate(a_names):
+                order = list(pvars) + [a_name] + list(stmt.iter_vars) + [
+                    n for n in a_names if n != a_name
+                ]
+                try:
+                    result = scan(
+                        system, order, context=program.assumptions
+                    )
+                except EmptyPolyhedronError:
+                    continue
+                level = result.loops[len(pvars)]
+                if level.is_degenerate():
+                    per_dim_lowers[k].append(level.assignment)
+                    per_dim_uppers[k].append(level.assignment)
+                else:
+                    per_dim_lowers[k].append(level.lower_expr())
+                    per_dim_uppers[k].append(level.upper_expr())
+                touched_any = True
+    if not touched_any:
+        return None
+    from ..polyhedra import MaxE, MinE, simplify_bexpr
+
+    dims = []
+    for k in range(array.rank):
+        lowers = per_dim_lowers[k]
+        uppers = per_dim_uppers[k]
+        low = lowers[0] if len(lowers) == 1 else simplify_bexpr(
+            MinE(tuple(lowers))
+        )
+        high = uppers[0] if len(uppers) == 1 else simplify_bexpr(
+            MaxE(tuple(uppers))
+        )
+        dims.append(DimBox(low, high))
+    return LocalBox(array, tuple(dims))
+
+
+@dataclass
+class MemoryReport:
+    """Global vs. local allocation sizes for one machine configuration."""
+
+    array_sizes: Dict[str, int]
+    local_sizes: Dict[Tuple[int, ...], Dict[str, int]]
+
+    def global_total(self) -> int:
+        return sum(self.array_sizes.values())
+
+    def max_local_total(self) -> int:
+        return max(
+            sum(sizes.values()) for sizes in self.local_sizes.values()
+        )
+
+    def savings_factor(self) -> float:
+        """How much smaller the biggest local footprint is vs. global."""
+        return self.global_total() / max(1, self.max_local_total())
+
+
+def memory_report(
+    program: Program,
+    comps: Dict[str, CompDecomp],
+    params: Mapping[str, int],
+    writes_only: bool = False,
+) -> MemoryReport:
+    """Evaluate per-virtual-processor bounding boxes numerically."""
+    space = next(iter(comps.values())).space
+    pvars = tuple(f"p{k}" for k in range(space.rank))
+    boxes = {
+        name: bounding_box(
+            program, comps, array, pvars, writes_only=writes_only
+        )
+        for name, array in program.arrays.items()
+    }
+    array_sizes = {
+        name: int(_prod(array.shape(params)))
+        for name, array in program.arrays.items()
+    }
+    local_sizes: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    vshape = space.virtual_shape(params)
+    coords = [()]
+    for extent in vshape:
+        coords = [c + (v,) for c in coords for v in range(extent)]
+    for coord in coords:
+        env = dict(params)
+        env.update(zip(pvars, coord))
+        local_sizes[coord] = {
+            name: (box.size(env) if box is not None else 0)
+            for name, box in boxes.items()
+        }
+    return MemoryReport(array_sizes, local_sizes)
+
+
+def _prod(shape) -> int:
+    total = 1
+    for s in shape:
+        total *= s
+    return total

@@ -1,0 +1,137 @@
+"""Loop splitting for merged loop nests (paper Section 5.4).
+
+When several code fragments iterate the same index over different but
+*comparably bounded* ranges, run-time guards can be removed by
+splitting the index range at the fragments' boundaries::
+
+    for i = 0 to 200:   receive(...)      for i = 0   to 99:  receive
+    for i = 100 to 300: send(...)    =>   for i = 100 to 200: receive; send
+                                          for i = 201 to 300: send
+
+The split is only performed when the relative order of all bounds is
+provable (from the parameter context); otherwise the compiler keeps
+guards -- mirroring the paper's policy of splitting inner loops and
+falling back to dynamic checks when magnitudes are unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..polyhedra import (
+    LinExpr,
+    System,
+    implies_inequality,
+    integer_feasible,
+)
+
+
+class UnknownOrderError(Exception):
+    """The relative magnitude of two bounds cannot be proven."""
+
+
+@dataclass(frozen=True)
+class RangeFragment:
+    """One fragment: execute ``payload`` for ``lower <= i <= upper``."""
+
+    lower: LinExpr
+    upper: LinExpr
+    payload: object
+
+    def __post_init__(self):
+        object.__setattr__(self, "lower", LinExpr.coerce(self.lower))
+        object.__setattr__(self, "upper", LinExpr.coerce(self.upper))
+
+
+@dataclass(frozen=True)
+class SplitLoop:
+    """One split segment and the payloads active inside it."""
+
+    lower: LinExpr
+    upper: LinExpr
+    payloads: Tuple[object, ...]
+
+    def describe(self) -> str:
+        names = ", ".join(str(p) for p in self.payloads)
+        return f"for i = {self.lower} to {self.upper}: {names}"
+
+
+def _leq(a: LinExpr, b: LinExpr, context: Optional[System]) -> bool:
+    """Is ``a <= b`` provable for every parameter value in context?"""
+    ctx = context if context is not None else System()
+    return implies_inequality(ctx, b - a)
+
+
+def _proven_order(
+    exprs: List[LinExpr], context: Optional[System]
+) -> List[LinExpr]:
+    """Insertion-sort bounds by provable <=; raise if incomparable.
+
+    Expressions provably equal in value are merged (one cut point).
+    """
+    ordered: List[LinExpr] = []
+    for expr in exprs:
+        placed = False
+        for idx, existing in enumerate(ordered):
+            le = _leq(expr, existing, context)
+            ge = _leq(existing, expr, context)
+            if le and ge:
+                placed = True  # same value: merge cut points
+                break
+            if le:
+                ordered.insert(idx, expr)
+                placed = True
+                break
+            if not ge:
+                raise UnknownOrderError(
+                    f"cannot order {expr} against {existing}"
+                )
+        if not placed:
+            ordered.append(expr)
+    return ordered
+
+
+def split_ranges(
+    fragments: Sequence[RangeFragment],
+    context: Optional[System] = None,
+) -> List[SplitLoop]:
+    """Split overlapping ranges into disjoint segments (Section 5.4).
+
+    Returns consecutive loops covering the union of the fragment
+    ranges, each listing the payloads active within it, in the order
+    the fragments were given.  Raises :class:`UnknownOrderError` when
+    bounds cannot be totally ordered from the context -- the caller
+    should then keep guards (the paper's dynamic-splitting fallback).
+    """
+    if not fragments:
+        return []
+    # candidate cut points: every lower, and every upper + 1
+    cuts: List[LinExpr] = []
+    for frag in fragments:
+        for candidate in (frag.lower, frag.upper + 1):
+            if candidate not in cuts:
+                cuts.append(candidate)
+    ordered = _proven_order(cuts, context)
+
+    out: List[SplitLoop] = []
+    for start, nxt in zip(ordered, ordered[1:]):
+        segment_upper = nxt - 1
+        active = tuple(
+            frag.payload
+            for frag in fragments
+            if _leq(frag.lower, start, context)
+            and _leq(segment_upper, frag.upper, context)
+        )
+        if not active:
+            continue
+        # drop provably empty segments
+        probe = (context or System()).copy()
+        try:
+            probe.add_le(start, segment_upper)
+        except Exception:
+            continue
+        if not integer_feasible(probe):
+            continue
+        out.append(SplitLoop(start, segment_upper, active))
+    return out

@@ -1,0 +1,58 @@
+"""The paper's core: value-centric communication generation and
+optimization (communication sets, redundancy elimination, aggregation,
+multicast, finalization, and the end-to-end compiler driver)."""
+
+from .aggregation import MessagePlan, build_plan
+from .compiler import (
+    CommReport,
+    CompileResult,
+    communication_report,
+    compile_distributed,
+    compile_owner_computes,
+)
+from .commsets import (
+    CommSet,
+    RECV_SUFFIX,
+    SEND_SUFFIX,
+    array_names,
+    enumerate_commset,
+    from_leaf,
+    initial_comm,
+    location_centric_comm,
+    proc_names,
+)
+from .group import (
+    UniformFamily,
+    family_commsets,
+    hull_tree,
+    uniform_families,
+)
+from .finalization import finalization_comm, finalization_initial
+from .redundancy import canonicalize_senders, eliminate_self_reuse
+
+__all__ = [
+    "CommReport",
+    "CommSet",
+    "CompileResult",
+    "MessagePlan",
+    "RECV_SUFFIX",
+    "SEND_SUFFIX",
+    "array_names",
+    "build_plan",
+    "canonicalize_senders",
+    "communication_report",
+    "compile_distributed",
+    "compile_owner_computes",
+    "eliminate_self_reuse",
+    "enumerate_commset",
+    "finalization_comm",
+    "finalization_initial",
+    "from_leaf",
+    "initial_comm",
+    "location_centric_comm",
+    "UniformFamily",
+    "family_commsets",
+    "hull_tree",
+    "uniform_families",
+    "proc_names",
+]

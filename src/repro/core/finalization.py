@@ -1,0 +1,133 @@
+"""Finalization communication (paper Section 4.4.3).
+
+After the nest, values live at exit move to their home locations under
+the final data decomposition.  The live-out relation comes from the
+Last Write Tree machinery (:mod:`repro.dataflow.finalize`); here it is
+combined with the writer's computation decomposition (who holds the
+value) and the final layout (who must hold it):
+
+* writer leaves: the processor executing the live-out write sends the
+  element to every final owner;
+* bottom leaves (never-written elements): the *initial* owner forwards
+  to the final owner when the layouts differ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dataflow.lwt import LWTLeaf
+from ..decomp import CompDecomp, DataDecomp
+from ..ir import Array, Statement
+from ..polyhedra import InfeasibleError, LinExpr, System, integer_feasible
+from .commsets import (
+    SEND_SUFFIX,
+    CommSet,
+    _different_processor_branches,
+    array_names,
+    proc_names,
+)
+
+
+def finalization_comm(
+    leaf: LWTLeaf,
+    probe: Statement,
+    array: Array,
+    write_comp: CompDecomp,
+    final_data: DataDecomp,
+    assumptions: Optional[System] = None,
+    label: str = "",
+) -> List[CommSet]:
+    """Write-back sets for a live-out writer leaf."""
+    if leaf.is_bottom():
+        raise ValueError("bottom leaves use finalization_initial")
+    writer = leaf.writer
+    space = write_comp.space
+    send_p = proc_names(space, "send")
+    recv_p = proc_names(space, "recv")
+    a_names = array_names(array.rank)
+
+    system = leaf.context.copy()
+    if assumptions is not None:
+        system = system.intersect(assumptions)
+    system = system.intersect(
+        write_comp.system(send_p, iter_suffix=SEND_SUFFIX)
+    )
+    try:
+        for v in writer.iter_vars:
+            system.add_eq(LinExpr.var(v + SEND_SUFFIX), leaf.mapping[v])
+    except InfeasibleError:
+        return []
+    system = system.intersect(final_data.system(a_names, recv_p))
+
+    out: List[CommSet] = []
+    for tag, branch in _different_processor_branches(system, send_p, recv_p):
+        out.append(
+            CommSet(
+                system=branch,
+                space=space,
+                read_stmt=probe,
+                read_access=probe.reads[0],
+                write_stmt=writer,
+                level=0,
+                loop_independent=False,
+                recv_iter_vars=(),
+                send_iter_vars=tuple(
+                    v + SEND_SUFFIX for v in writer.iter_vars
+                ),
+                recv_proc_vars=recv_p,
+                send_proc_vars=send_p,
+                data_vars=a_names,
+                aux_vars=leaf.aux_vars,
+                label=f"{label}fin{tag}",
+                finalization=True,
+            )
+        )
+    return out
+
+
+def finalization_initial(
+    leaf: LWTLeaf,
+    probe: Statement,
+    array: Array,
+    initial_data: DataDecomp,
+    final_data: DataDecomp,
+    assumptions: Optional[System] = None,
+    label: str = "",
+) -> List[CommSet]:
+    """Never-written elements: forward from initial owner to final owner."""
+    space = final_data.space
+    send_p = proc_names(space, "send")
+    recv_p = proc_names(space, "recv")
+    a_names = array_names(array.rank)
+
+    system = leaf.context.copy()
+    if assumptions is not None:
+        system = system.intersect(assumptions)
+    system = system.intersect(initial_data.system(a_names, send_p))
+    system = system.intersect(final_data.system(a_names, recv_p))
+
+    out: List[CommSet] = []
+    for tag, branch in _different_processor_branches(system, send_p, recv_p):
+        if not integer_feasible(branch):
+            continue
+        out.append(
+            CommSet(
+                system=branch,
+                space=space,
+                read_stmt=probe,
+                read_access=probe.reads[0],
+                write_stmt=None,
+                level=0,
+                loop_independent=False,
+                recv_iter_vars=(),
+                send_iter_vars=(),
+                recv_proc_vars=recv_p,
+                send_proc_vars=send_p,
+                data_vars=a_names,
+                aux_vars=leaf.aux_vars,
+                label=f"{label}fin0{tag}",
+                finalization=True,
+            )
+        )
+    return out

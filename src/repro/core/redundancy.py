@@ -1,0 +1,87 @@
+"""Redundant communication elimination (paper Section 6.1).
+
+Self reuse: many read instances on the same processor consume the same
+value-copy (identical sender, sender iteration, element).  Only the
+lexicographically first read needs the transfer -- later reads find the
+value in local memory.  The paper implements this by projecting the
+communication set onto (p_s, i_s, p_r, a) and pinning i_r to its lower
+bound; our :func:`repro.polyhedra.parametric_lexmin` does exactly that,
+case-splitting when several lower bounds compete (the paper's noted
+"non-convex" complication).
+
+Replicated-sender redundancy (Section 6.1.3): when a data decomposition
+replicates data, several processors can supply the same element; keep
+one canonical (lexicographically first) sender.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..polyhedra import LinExpr, integer_feasible, parametric_lexmin
+from .commsets import CommSet
+
+
+def eliminate_self_reuse(
+    commset: CommSet, extra_min_vars: List[str] = ()
+) -> List[CommSet]:
+    """Keep one transfer per (p_s, i_s, p_r, a): the earliest reader.
+
+    Returns a list of convex communication sets whose union is the
+    minimized set (one per lexmin piece).  Sets whose reader iteration
+    is already uniquely determined come back unchanged.
+
+    ``extra_min_vars``: additional variables minimized alongside the
+    reader iteration -- the offset variables of a uniformly generated
+    reference family (group reuse, Section 6.1.2), so one transfer
+    covers every member access reading the value.
+    """
+    opt_vars = [
+        v
+        for v in list(commset.recv_iter_vars) + list(extra_min_vars)
+        if commset.system.involves(v)
+    ]
+    if not opt_vars:
+        return [commset]
+    pieces = parametric_lexmin(commset.system, opt_vars)
+    out: List[CommSet] = []
+    for idx, piece in enumerate(pieces):
+        system = piece.full_context()
+        for v in opt_vars:
+            system.add_eq(LinExpr.var(v), piece.mapping[v])
+        if not integer_feasible(system):
+            continue
+        new = commset.with_system(
+            system, label=f"{commset.label}.min{idx if len(pieces) > 1 else ''}"
+        )
+        new.aux_vars = tuple(dict.fromkeys(commset.aux_vars + piece.aux_vars))
+        out.append(new)
+    return out
+
+
+def canonicalize_senders(commset: CommSet) -> List[CommSet]:
+    """Keep one sender per (i_r, p_r, a): the lexicographically first.
+
+    Applies to Theorem-4 sets under replicated data decompositions
+    (Section 6.1.3's replicated-data redundancy).
+    """
+    opt_vars = [
+        v for v in commset.send_proc_vars if commset.system.involves(v)
+    ]
+    if not opt_vars:
+        return [commset]
+    pieces = parametric_lexmin(commset.system, opt_vars)
+    out: List[CommSet] = []
+    for idx, piece in enumerate(pieces):
+        system = piece.full_context()
+        for v in opt_vars:
+            system.add_eq(LinExpr.var(v), piece.mapping[v])
+        if not integer_feasible(system):
+            continue
+        new = commset.with_system(
+            system,
+            label=f"{commset.label}.snd{idx if len(pieces) > 1 else ''}",
+        )
+        new.aux_vars = tuple(dict.fromkeys(commset.aux_vars + piece.aux_vars))
+        out.append(new)
+    return out

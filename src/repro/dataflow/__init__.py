@@ -1,0 +1,33 @@
+"""Dataflow analyses: classic dependence (baseline) and Last Write Trees."""
+
+from .finalize import final_write_tree
+from .dependence import (
+    LOOP_INDEPENDENT,
+    Dependence,
+    all_dependences,
+    dependences_between,
+    max_flow_dependence_level,
+    parallelizable_levels,
+)
+from .lwt import (
+    WRITE_SUFFIX,
+    LastWriteTree,
+    LWTLeaf,
+    all_trees,
+    last_write_tree,
+)
+
+__all__ = [
+    "Dependence",
+    "LOOP_INDEPENDENT",
+    "LWTLeaf",
+    "LastWriteTree",
+    "WRITE_SUFFIX",
+    "all_dependences",
+    "all_trees",
+    "dependences_between",
+    "final_write_tree",
+    "last_write_tree",
+    "max_flow_dependence_level",
+    "parallelizable_levels",
+]

@@ -1,0 +1,170 @@
+"""Classic data dependence analysis (the baseline the paper argues against).
+
+Section 2 of the paper reviews the location-centric approach: two
+accesses are data dependent if one writes and they may touch the same
+location; the dependence is carried at level k if the coinciding
+instances share the first k-1 loop iterations but not the kth.  We test
+each (pair, level) with the exact Omega feasibility test, so this
+baseline is as strong as dependence analysis can be -- the paper's
+point is that even *exact* location-based information is weaker than
+value-based information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..ir import Access, Program, Statement, common_loops, textually_before
+from ..polyhedra import InfeasibleError, LinExpr, System, integer_feasible
+
+LOOP_INDEPENDENT = -1  # sentinel level for loop-independent dependences
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A data dependence carried at ``level`` (1-based loop level).
+
+    ``level == LOOP_INDEPENDENT`` marks a loop-independent dependence
+    (same iteration of every common loop, source textually earlier).
+    """
+
+    source: Statement
+    sink: Statement
+    kind: str  # "flow", "anti", or "output"
+    level: int
+
+    def __str__(self) -> str:
+        lvl = "indep" if self.level == LOOP_INDEPENDENT else str(self.level)
+        return f"{self.kind}: {self.source.name} -> {self.sink.name} @ {lvl}"
+
+
+def _pair_system(
+    src: Statement,
+    src_access: Access,
+    dst: Statement,
+    dst_access: Access,
+    level: int,
+    assumptions: System,
+) -> Optional[System]:
+    """System whose feasibility means: some src instance and dst instance
+    touch the same location, with src preceding dst at ``level``."""
+    src_domain, src_vars = src.domain_renamed("$s")
+    system = src_domain.intersect(dst.domain()).intersect(assumptions)
+    src_idx = [e.rename({v: v + "$s" for v in src.iter_vars})
+               for e in src_access.indices]
+    try:
+        for s_expr, d_expr in zip(src_idx, dst_access.indices):
+            system.add_eq(s_expr, d_expr)
+        common = common_loops(src, dst)
+        if level == LOOP_INDEPENDENT:
+            if not textually_before(src, dst):
+                return None
+            for j in range(common):
+                var = src.iter_vars[j]
+                system.add_eq(LinExpr.var(var + "$s"), LinExpr.var(var))
+        else:
+            if level > common:
+                return None
+            for j in range(level - 1):
+                var = src.iter_vars[j]
+                system.add_eq(LinExpr.var(var + "$s"), LinExpr.var(var))
+            var = src.iter_vars[level - 1]
+            system.add_lt(LinExpr.var(var + "$s"), LinExpr.var(var))
+    except InfeasibleError:
+        return None
+    return system
+
+
+def dependences_between(
+    src: Statement,
+    dst: Statement,
+    assumptions: System,
+) -> List[Dependence]:
+    """All dependences from instances of src to later instances of dst."""
+    out: List[Dependence] = []
+    pairs = []
+    # flow: src writes, dst reads
+    for read in dst.reads:
+        if read.array is src.lhs.array:
+            pairs.append(("flow", src.lhs, read))
+    # anti: src reads, dst writes
+    for read in src.reads:
+        if read.array is dst.lhs.array:
+            pairs.append(("anti", read, dst.lhs))
+    # output: both write
+    if src.lhs.array is dst.lhs.array:
+        pairs.append(("output", src.lhs, dst.lhs))
+
+    common = common_loops(src, dst)
+    levels = list(range(1, common + 1)) + [LOOP_INDEPENDENT]
+    seen = set()
+    for kind, src_access, dst_access in pairs:
+        for level in levels:
+            if (kind, level) in seen:
+                continue
+            system = _pair_system(
+                src, src_access, dst, dst_access, level, assumptions
+            )
+            if system is not None and integer_feasible(system):
+                seen.add((kind, level))
+                out.append(Dependence(src, dst, kind, level))
+    return out
+
+
+def all_dependences(program: Program) -> List[Dependence]:
+    """Every dependence between every (ordered) pair of statements."""
+    out: List[Dependence] = []
+    stmts = program.statements()
+    for src in stmts:
+        for dst in stmts:
+            out.extend(dependences_between(src, dst, program.assumptions))
+    return out
+
+
+def max_flow_dependence_level(
+    program: Program, read_stmt: Statement, read_access: Access
+) -> int:
+    """The deepest loop level carrying a flow dependence into this read.
+
+    This is the quantity the location-centric compiler uses to place
+    communication (Section 2.1): messages must be exchanged once per
+    iteration of the level-``k`` loop.  Returns 0 when no write in the
+    program reaches the read (communication can be hoisted out of the
+    nest entirely).
+    """
+    deepest = 0
+    for writer in program.writes_to(read_access.array):
+        common = common_loops(writer, read_stmt)
+        for level in range(common, 0, -1):
+            if level <= deepest:
+                break
+            system = _pair_system(
+                writer, writer.lhs, read_stmt, read_access, level,
+                program.assumptions,
+            )
+            if system is not None and integer_feasible(system):
+                deepest = max(deepest, level)
+                break
+        if textually_before(writer, read_stmt) or writer is read_stmt:
+            system = _pair_system(
+                writer, writer.lhs, read_stmt, read_access,
+                LOOP_INDEPENDENT, program.assumptions,
+            )
+            if system is not None and integer_feasible(system):
+                deepest = max(deepest, common_loops(writer, read_stmt))
+    return deepest
+
+
+def parallelizable_levels(program: Program) -> List[int]:
+    """Loop levels (of the unique nest) carrying no dependence at all.
+
+    The classic test: a loop can run its iterations in parallel iff no
+    dependence is carried at its level.  Used by examples to show how
+    location-based analysis serializes loops that value-based analysis
+    (plus privatization) can parallelize (Section 2.2.2).
+    """
+    nest_vars = program.loop_vars()
+    carried = {d.level for d in all_dependences(program)
+               if d.level != LOOP_INDEPENDENT}
+    return [lvl for lvl in range(1, len(nest_vars) + 1) if lvl not in carried]

@@ -1,0 +1,59 @@
+"""Live-out analysis for finalization (paper Section 4.4.3).
+
+"Data produced within the loop nest may need to be written back to
+their home locations in the final data layout.  The problem of
+identifying which written values are live at exit is a sub-problem in
+calculating last write trees."
+
+We reuse the Last Write Tree machinery verbatim: a synthetic read of
+``A[a0]...[am-1]`` placed textually after the whole program sees, as
+its last writer, exactly the write instance whose value is live at
+exit.  Bottom leaves are locations never written (they stay wherever
+the initial layout put them).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ir import Access, Array, Program, Statement
+from ..polyhedra import LinExpr, System
+from .lwt import LastWriteTree, last_write_tree
+
+
+def _exit_probe(array: Array) -> Tuple[Statement, Access, System]:
+    """A zero-depth statement reading every element of ``array``.
+
+    The probe's iteration space is the array's index space (variables
+    ``a0..``); its textual position is after everything.
+    """
+    names = tuple(f"a{k}" for k in range(array.rank))
+    access = Access(array, tuple(LinExpr.var(n) for n in names))
+    probe = Statement(
+        lhs=access,
+        reads=[access],
+        fn=lambda values, env: values[0],
+        name=f"$exit:{array.name}",
+        text=f"<live-out probe for {array.name}>",
+    )
+    probe.loops = ()
+    probe.path = (10**9,)  # after every real statement
+    domain = array.index_domain(names)
+    return probe, access, domain
+
+
+def final_write_tree(program: Program, array: Array) -> LastWriteTree:
+    """For each array element: the write instance live at program exit.
+
+    Leaves are contexts over the array index variables ``a0..am-1``;
+    writer leaves map to the last write instance of the location,
+    bottom leaves cover never-written elements.
+    """
+    probe, access, domain = _exit_probe(array)
+    return last_write_tree(
+        program,
+        probe,
+        access,
+        extra_domain=domain,
+        extra_vars=tuple(f"a{k}" for k in range(array.rank)),
+    )

@@ -1,0 +1,463 @@
+"""Last Write Trees: exact array dataflow analysis (paper Section 3, 4.4.2).
+
+For a read access, the LWT maps every dynamic read instance to the
+write instance that produced the value read (or to ``bottom`` when the
+value was defined outside the analyzed code).  Leaves partition the
+read iteration space into contexts; within one leaf every read shares
+the same last-write relation and the same dependence level -- the
+uniformity that drives all the communication optimizations of
+Section 6.
+
+Construction searches write candidates in execution-precedence order
+(deepest shared loop level first), solves a parametric lexicographic
+maximization per candidate, and peels each candidate's region off the
+remaining read domain with exact polyhedral subtraction.  Candidates at
+the same level from different writers are disambiguated by case-split
+comparison of their write instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import (
+    Access,
+    Program,
+    Statement,
+    common_loops,
+    textually_before,
+)
+from ..polyhedra import (
+    InfeasibleError,
+    LexPiece,
+    LinExpr,
+    System,
+    integer_feasible,
+    parametric_lexmax,
+    subtract_piece,
+)
+
+WRITE_SUFFIX = "$w"
+
+
+@dataclass
+class LWTLeaf:
+    """One leaf: a context of read instances sharing a last-write relation.
+
+    ``writer is None`` marks a bottom leaf (values defined outside the
+    loop nest).  ``mapping`` gives each writer iteration variable as a
+    quasi-affine function of the read iteration variables (auxiliary
+    floor variables, listed in ``aux_vars``, are defined by sandwich
+    constraints inside ``context``).  ``level`` is the dependence level:
+    0 for bottom, k >= 1 for a dependence carried by loop k, and
+    ``depth + 1``-style ``common + 1`` for loop-independent relations
+    (``loop_independent`` is set in that case).
+    """
+
+    context: System
+    writer: Optional[Statement]
+    mapping: Dict[str, LinExpr] = field(default_factory=dict)
+    level: int = 0
+    loop_independent: bool = False
+    aux_vars: Tuple[str, ...] = ()
+
+    def is_bottom(self) -> bool:
+        return self.writer is None
+
+    def writer_iteration(self, read_env: Dict[str, int]) -> Tuple[int, ...]:
+        """Evaluate the last-write iteration for a concrete read instance."""
+        env = dict(read_env)
+        _solve_aux_values(self.context, self.aux_vars, env)
+        return tuple(
+            self.mapping[v].evaluate(env) for v in self.writer.iter_vars
+        )
+
+    def describe(self) -> str:
+        if self.is_bottom():
+            return f"bottom when {self.context}"
+        maps = ", ".join(
+            f"{v}w = {self.mapping[v]}" for v in self.writer.iter_vars
+        )
+        kind = "indep" if self.loop_independent else f"level {self.level}"
+        return f"{self.writer.name}[{maps}] ({kind}) when {self.context}"
+
+
+@dataclass
+class LastWriteTree:
+    """The full tree for one read access: disjoint leaves covering the
+    read domain (intersected with the program assumptions)."""
+
+    stmt: Statement
+    access: Access
+    leaves: List[LWTLeaf]
+    extra_vars: Tuple[str, ...] = ()
+
+    def writer_leaves(self) -> List[LWTLeaf]:
+        return [leaf for leaf in self.leaves if not leaf.is_bottom()]
+
+    def bottom_leaves(self) -> List[LWTLeaf]:
+        return [leaf for leaf in self.leaves if leaf.is_bottom()]
+
+    def lookup(self, read_env: Dict[str, int]) -> Optional[LWTLeaf]:
+        """The unique leaf containing a concrete read instance."""
+        hits = []
+        for leaf in self.leaves:
+            env = dict(read_env)
+            if _solve_aux_values(leaf.context, leaf.aux_vars, env):
+                if leaf.context.satisfies(env):
+                    hits.append(leaf)
+        if len(hits) > 1:
+            raise AssertionError(
+                f"LWT leaves overlap at {read_env}: "
+                + "; ".join(l.describe() for l in hits)
+            )
+        return hits[0] if hits else None
+
+    def describe(self) -> str:
+        head = f"LWT for {self.access} in {self.stmt.name}"
+        return "\n".join([head] + ["  " + l.describe() for l in self.leaves])
+
+
+def _solve_aux_values(
+    context: System, aux_vars: Sequence[str], env: Dict[str, int]
+) -> bool:
+    """Fill in auxiliary floor variables from their sandwich constraints.
+
+    Returns False if some auxiliary cannot be determined from ``env``.
+    Auxiliaries may chain (later ones defined in terms of earlier ones),
+    so iterate to a fixed point.
+    """
+    pending = [q for q in aux_vars if q not in env]
+    progress = True
+    while pending and progress:
+        progress = False
+        for q in list(pending):
+            value = _aux_from_sandwich(context, q, env)
+            if value is not None:
+                env[q] = value
+                pending.remove(q)
+                progress = True
+    return not pending
+
+
+def _aux_from_sandwich(context: System, q: str, env: Dict[str, int]):
+    # An equality b*q + rest == 0 determines q directly; if the division
+    # is inexact we still return the floor -- the equality then fails the
+    # subsequent satisfies() check, correctly rejecting the leaf.
+    for eq in context.equalities:
+        coeff = eq.coeff(q)
+        if coeff == 0:
+            continue
+        rest = eq - LinExpr.var(q, coeff)
+        if set(rest.variables()) <= set(env):
+            value = -rest.evaluate(env)
+            return value // coeff if coeff > 0 else (-value) // (-coeff)
+    # Otherwise find a genuine sandwich pair:
+    #   g - b*q >= 0   and   b*q + b - 1 - g >= 0   =>  q = floor(g/b)
+    for ineq in context.inequalities:
+        coeff = ineq.coeff(q)
+        if coeff >= 0:
+            continue
+        b = -coeff
+        g = ineq + LinExpr.var(q, b)  # ineq = g - b*q
+        complement = (LinExpr.var(q, b) + b - 1 - g).normalized_ineq()
+        if complement not in context.inequalities:
+            continue
+        if set(g.variables()) <= set(env):
+            return g.evaluate(env) // b
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Candidate:
+    writer: Statement
+    carried_level: Optional[int]  # None => loop-independent
+    shared: int
+
+    def sort_key(self):
+        carried_rank = 0 if self.carried_level is not None else 1
+        # later textual position wins among loop-independent candidates
+        path_key = tuple(-p for p in self.writer.path)
+        return (-self.shared, carried_rank, path_key)
+
+
+def _candidates(program: Program, stmt: Statement, array) -> List[_Candidate]:
+    out: List[_Candidate] = []
+    for writer in program.writes_to(array):
+        common = common_loops(writer, stmt)
+        if textually_before(writer, stmt):
+            out.append(_Candidate(writer, None, common))
+        for level in range(common, 0, -1):
+            out.append(_Candidate(writer, level, level - 1))
+    out.sort(key=_Candidate.sort_key)
+    return out
+
+
+def _candidate_system(
+    program: Program,
+    stmt: Statement,
+    access: Access,
+    cand: _Candidate,
+    read_domain: System,
+) -> Optional[System]:
+    writer = cand.writer
+    w_domain, _w_vars = writer.domain_renamed(WRITE_SUFFIX)
+    system = read_domain.intersect(w_domain)
+    w_lhs = writer.lhs.rename(
+        {v: v + WRITE_SUFFIX for v in writer.iter_vars}
+    )
+    try:
+        for w_expr, r_expr in zip(w_lhs.indices, access.indices):
+            system.add_eq(w_expr, r_expr)
+        if cand.carried_level is not None:
+            k = cand.carried_level
+            for j in range(k - 1):
+                v = writer.iter_vars[j]
+                system.add_eq(LinExpr.var(v + WRITE_SUFFIX), LinExpr.var(v))
+            v = writer.iter_vars[k - 1]
+            system.add_lt(LinExpr.var(v + WRITE_SUFFIX), LinExpr.var(v))
+        else:
+            for j in range(cand.shared):
+                v = writer.iter_vars[j]
+                system.add_eq(LinExpr.var(v + WRITE_SUFFIX), LinExpr.var(v))
+    except InfeasibleError:
+        return None
+    return system
+
+
+# ---------------------------------------------------------------------------
+# Same-level disambiguation
+# ---------------------------------------------------------------------------
+
+def _second_wins_tie(c1: _Candidate, c2: _Candidate) -> bool:
+    """When two write instances coincide on all shared loop indices,
+    which statement's instance executes later?  Static textual order at
+    the divergence point decides."""
+    return c2.writer.path > c1.writer.path
+
+
+def _compare_split(
+    overlap: System,
+    entry1: Tuple[_Candidate, LexPiece],
+    entry2: Tuple[_Candidate, LexPiece],
+) -> List[Tuple[System, int]]:
+    """Case-split the pair's overlap by which write instance is later.
+
+    Both candidates share loops ``1..shared`` with the reader and loops
+    ``1..cw`` with each other; compare index values position by position
+    from ``shared`` (0-based) to ``cw - 1``, then break full ties by
+    textual order at the divergence point.  Returns (extra-constraints,
+    winner-index) pairs; each extra-constraints System is conjunctive
+    and, intersected with the overlap, carves a disjoint winner region.
+    """
+    c1, piece1 = entry1
+    c2, piece2 = entry2
+    cw = common_loops(c1.writer, c2.writer)
+    out: List[Tuple[System, int]] = []
+    prefix = System()
+    for j in range(c1.shared, cw):
+        v = c1.writer.iter_vars[j]
+        u1 = piece1.mapping[v + WRITE_SUFFIX]
+        u2 = piece2.mapping[v + WRITE_SUFFIX]
+        diff = u1 - u2
+        if diff.is_zero():
+            continue
+        for expr, winner in ((diff - 1, 0), (-diff - 1, 1)):
+            try:
+                conds = prefix.copy()
+                conds.add_inequality(expr)
+            except InfeasibleError:
+                continue
+            if integer_feasible(overlap.intersect(conds)):
+                out.append((conds, winner))
+        nxt = prefix.copy()
+        try:
+            nxt.add_equality(diff)
+        except InfeasibleError:
+            return out
+        prefix = nxt
+    if integer_feasible(overlap.intersect(prefix)):
+        out.append((prefix, 1 if _second_wins_tie(c1, c2) else 0))
+    return out
+
+
+def _merge_group(
+    entries: List[Tuple[_Candidate, LexPiece]]
+) -> List[Tuple[_Candidate, LexPiece]]:
+    """Resolve same-level races between different writers.
+
+    For every overlapping pair of pieces, emit explicit winner entries
+    covering the overlap (conjunctive contexts from the case split).
+    These go *first*; the tree driver processes entries in order and
+    peels claimed regions off the remaining domain, so the original
+    (unrestricted) pieces afterwards only claim what is left -- their
+    non-overlapping parts.
+    """
+    distinct = {id(c.writer) for c, _ in entries}
+    if len(distinct) <= 1 or len(entries) == 1:
+        return entries
+    split_entries: List[Tuple[_Candidate, LexPiece]] = []
+    overlapping_pairs = 0
+    for i in range(len(entries)):
+        for j in range(i + 1, len(entries)):
+            c1, p1 = entries[i]
+            c2, p2 = entries[j]
+            if c1.writer is c2.writer:
+                continue
+            overlap = p1.full_context().intersect(p2.full_context())
+            if not integer_feasible(overlap):
+                continue
+            overlapping_pairs += 1
+            for conds, winner in _compare_split(overlap, (c1, p1), (c2, p2)):
+                cand, piece = entries[i] if winner == 0 else entries[j]
+                merged_conditions = (
+                    p1.conditions.intersect(p2.conditions).intersect(conds)
+                )
+                merged_defs = p1.aux_defs.intersect(p2.aux_defs)
+                merged_aux = tuple(
+                    dict.fromkeys(p1.aux_vars + p2.aux_vars)
+                )
+                split_entries.append(
+                    (
+                        cand,
+                        LexPiece(
+                            merged_conditions,
+                            piece.mapping,
+                            merged_defs,
+                            merged_aux,
+                        ),
+                    )
+                )
+    if overlapping_pairs and len(distinct) > 2:
+        raise NotImplementedError(
+            "three or more writers racing at the same dependence level"
+        )
+    return split_entries + entries
+
+
+# ---------------------------------------------------------------------------
+# Tree construction
+# ---------------------------------------------------------------------------
+
+def last_write_tree(
+    program: Program,
+    stmt: Statement,
+    access: Access,
+    extra_domain: Optional[System] = None,
+    extra_vars: Tuple[str, ...] = (),
+) -> LastWriteTree:
+    """Build the LWT for one read access of ``stmt``.
+
+    ``extra_domain``/``extra_vars`` support the convex-hull treatment of
+    uniformly generated reference sets (Section 6.1.2): pass the offset
+    variable(s) and their range to analyze a whole reference family with
+    one tree.
+    """
+    read_domain = stmt.domain().intersect(program.assumptions)
+    if extra_domain is not None:
+        read_domain = read_domain.intersect(extra_domain)
+
+    remaining: List[System] = [read_domain]
+    leaves: List[LWTLeaf] = []
+    seen_aux: List[str] = []  # aux vars folded into remaining regions
+
+    cands = _candidates(program, stmt, access.array)
+    idx = 0
+    while idx < len(cands) and remaining:
+        group = [cands[idx]]
+        idx += 1
+        while (
+            idx < len(cands)
+            and cands[idx].sort_key()[:2] == group[0].sort_key()[:2]
+        ):
+            group.append(cands[idx])
+            idx += 1
+
+        entries: List[Tuple[_Candidate, LexPiece]] = []
+        for cand in group:
+            system = _candidate_system(
+                program, stmt, access, cand, read_domain
+            )
+            if system is None:
+                continue
+            opt_vars = [
+                v + WRITE_SUFFIX for v in cand.writer.iter_vars
+            ]
+            pieces = parametric_lexmax(
+                system, opt_vars, context=read_domain
+            )
+            entries.extend((cand, piece) for piece in pieces)
+        if len({id(c.writer) for c, _ in entries}) > 1:
+            entries = _merge_group(entries)
+
+        for cand, piece in entries:
+            touched: List[System] = []
+            untouched: List[System] = []
+            for region in remaining:
+                try:
+                    ctx = region.intersect(piece.full_context())
+                except InfeasibleError:
+                    untouched.append(region)
+                    continue
+                if not integer_feasible(ctx):
+                    untouched.append(region)
+                    continue
+                touched.append(region)
+                mapping = {
+                    v: piece.mapping[v + WRITE_SUFFIX]
+                    for v in cand.writer.iter_vars
+                }
+                if cand.carried_level is not None:
+                    level = cand.carried_level
+                    indep = False
+                else:
+                    level = cand.shared + 1
+                    indep = True
+                ctx_vars = ctx.variables()
+                aux = tuple(
+                    q
+                    for q in list(piece.aux_vars) + seen_aux
+                    if q in ctx_vars
+                )
+                leaves.append(
+                    LWTLeaf(
+                        context=ctx,
+                        writer=cand.writer,
+                        mapping=mapping,
+                        level=level,
+                        loop_independent=indep,
+                        aux_vars=aux,
+                    )
+                )
+            residues = subtract_piece(touched, piece)
+            remaining = untouched + [
+                r for r in residues if integer_feasible(r)
+            ]
+            if touched:
+                for q in piece.aux_vars:
+                    if q not in seen_aux:
+                        seen_aux.append(q)
+
+    for region in remaining:
+        region_vars = region.variables()
+        aux = tuple(q for q in seen_aux if q in region_vars)
+        leaves.append(
+            LWTLeaf(context=region, writer=None, level=0, aux_vars=aux)
+        )
+
+    return LastWriteTree(stmt, access, leaves, extra_vars)
+
+
+def all_trees(program: Program) -> Dict[Tuple[str, int], LastWriteTree]:
+    """LWTs for every read access of every statement, keyed by
+    (statement name, read index)."""
+    out: Dict[Tuple[str, int], LastWriteTree] = {}
+    for stmt in program.statements():
+        for ridx, access in enumerate(stmt.reads):
+            out[(stmt.name, ridx)] = last_write_tree(program, stmt, access)
+    return out

@@ -1,0 +1,280 @@
+"""Data decompositions (paper Definition 1, Figure 4).
+
+A data decomposition relates array elements to the (virtual) processors
+holding a copy:
+
+    D = { (a, p) | B*p - d_l  <=  U(a - t)  <=  B*(p+1) - 1 + d_h }
+
+Each processor dimension k applies an affine form (a row of the
+extended unimodular matrix ``U``, shifted by ``t``) of the array
+indices, a block size ``B_k``, and overlap amounts ``d_l``/``d_h``.
+A dimension with no rule replicates the array along that processor axis
+(zero row of ``U`` -- Figure 4(a)).  Overlap expresses the replicated
+stencil borders of Section 2.2.1; shifts, skews and reversal come from
+the affine row itself (Figures 4(c) and 4(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..ir import Access, Array
+from ..polyhedra import LinExpr, System
+from .space import Extent, ProcSpace
+
+
+def dim_placeholders(rank: int) -> Tuple[str, ...]:
+    """Canonical placeholder names for array dimensions inside rules."""
+    return tuple(f"$dim{k}" for k in range(rank))
+
+
+@dataclass(frozen=True)
+class DimRule:
+    """How one processor dimension carves the array.
+
+    ``expr``: affine form of the array indices (over placeholders
+    ``$dim0..``), already including any shift ``t``.
+    ``block``: block size ``B_k`` (positive int).
+    ``overlap_low``/``overlap_high``: ``d_l``/``d_h`` border replication.
+    """
+
+    expr: LinExpr
+    block: int = 1
+    overlap_low: int = 0
+    overlap_high: int = 0
+
+    def value_for(self, index_exprs: Sequence[LinExpr]) -> LinExpr:
+        env = {
+            ph: e
+            for ph, e in zip(dim_placeholders(len(index_exprs)), index_exprs)
+        }
+        return self.expr.substitute(env)
+
+    def constrain(self, out: System, proc: str, value: LinExpr) -> None:
+        p = LinExpr.var(proc)
+        out.add_le(p * self.block - self.overlap_low, value)
+        out.add_le(value, p * self.block + self.block - 1 + self.overlap_high)
+
+    def owner_range(self, value: int) -> Tuple[int, int]:
+        """Inclusive virtual-processor range owning an element value."""
+        b = self.block
+        low = -(-(value - b + 1 - self.overlap_high) // b)  # ceil
+        high = (value + self.overlap_low) // b
+        return low, high
+
+
+@dataclass
+class DataDecomp:
+    """A data decomposition for one array onto a processor space."""
+
+    array: Array
+    space: ProcSpace
+    rules: Tuple[Optional[DimRule], ...]  # one per processor dimension
+    name: str = ""
+
+    def __post_init__(self):
+        if len(self.rules) != self.space.rank:
+            raise ValueError("one rule (or None) per processor dimension")
+
+    # -- polyhedral view ----------------------------------------------------
+
+    def system(
+        self, index_names: Sequence[str], proc_names: Sequence[str]
+    ) -> System:
+        """D as a System over array-index and processor variables."""
+        out = self.space.virtual_domain(proc_names)
+        out = out.intersect(self.array.index_domain(tuple(index_names)))
+        index_exprs = [LinExpr.var(n) for n in index_names]
+        for proc, rule in zip(proc_names, self.rules):
+            if rule is None:
+                continue  # replicated along this processor dimension
+            rule.constrain(out, proc, rule.value_for(index_exprs))
+        return out
+
+    def membership(
+        self, access: Access, proc_names: Sequence[str]
+    ) -> System:
+        """D composed with an access function: constraints over the
+        access's iteration variables and the processor variables."""
+        out = self.space.virtual_domain(proc_names)
+        for proc, rule in zip(proc_names, self.rules):
+            if rule is None:
+                continue
+            rule.constrain(out, proc, rule.value_for(access.indices))
+        return out
+
+    # -- concrete view (runtime placement / validation) -------------------------
+
+    def owners(
+        self, element: Tuple[int, ...], params: Mapping[str, int]
+    ) -> List[Tuple[int, ...]]:
+        """All virtual processors holding a copy of ``element``."""
+        index_exprs = [LinExpr.const_expr(v) for v in element]
+        vshape = self.space.virtual_shape(params)
+        per_dim: List[range] = []
+        for k, rule in enumerate(self.rules):
+            if rule is None:
+                per_dim.append(range(0, vshape[k]))
+                continue
+            value = rule.value_for(index_exprs).evaluate(params)
+            low, high = rule.owner_range(value)
+            low = max(low, 0)
+            high = min(high, vshape[k] - 1)
+            per_dim.append(range(low, high + 1))
+        out: List[Tuple[int, ...]] = [()]
+        for rng in per_dim:
+            out = [prefix + (p,) for prefix in out for p in rng]
+        return out
+
+    def owns(
+        self,
+        element: Tuple[int, ...],
+        proc: Tuple[int, ...],
+        params: Mapping[str, int],
+    ) -> bool:
+        return tuple(proc) in {tuple(o) for o in self.owners(element, params)}
+
+    def is_replicated(self) -> bool:
+        return any(rule is None for rule in self.rules) or any(
+            rule is not None and (rule.overlap_low or rule.overlap_high)
+            for rule in self.rules
+        )
+
+    def describe(self) -> str:
+        parts = []
+        for k, rule in enumerate(self.rules):
+            if rule is None:
+                parts.append(f"p{k}: replicated")
+            else:
+                over = (
+                    f" overlap[{rule.overlap_low},{rule.overlap_high}]"
+                    if rule.overlap_low or rule.overlap_high
+                    else ""
+                )
+                parts.append(f"p{k}: block {rule.block} of ({rule.expr}){over}")
+        label = self.name or self.array.name
+        return f"D[{label}]: " + "; ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Constructors for the common shapes (Figure 4)
+# ---------------------------------------------------------------------------
+
+def block(
+    array: Array,
+    block_sizes: Sequence[int],
+    dims: Optional[Sequence[int]] = None,
+    pdims=None,
+    overlap: Sequence[Tuple[int, int]] = (),
+    shift: Sequence[int] = (),
+    reverse: Sequence[bool] = (),
+) -> DataDecomp:
+    """Contiguous blocks of the chosen array dimensions (Figure 4(b)).
+
+    ``dims[k]`` is the array dimension mapped to processor dimension k
+    (default: the first q dimensions).  ``overlap`` gives per-dimension
+    ``(d_l, d_h)``; ``shift`` a per-dimension offset ``t``; ``reverse``
+    flips a dimension (U row of -1).
+    """
+    q = len(block_sizes)
+    dims = list(dims) if dims is not None else list(range(q))
+    rules = []
+    vdims = []
+    for k in range(q):
+        d_l, d_h = overlap[k] if k < len(overlap) else (0, 0)
+        t = shift[k] if k < len(shift) else 0
+        ph = dim_placeholders(array.rank)[dims[k]]
+        expr = LinExpr.var(ph)
+        if k < len(reverse) and reverse[k]:
+            expr = (array.dims[dims[k]] - 1) - expr
+        expr = expr - t
+        rules.append(
+            DimRule(
+                expr,
+                block=block_sizes[k],
+                overlap_low=d_l,
+                overlap_high=d_h,
+            )
+        )
+        # extent: ceil((size + t) / B) covers every shifted block index
+        vdims.append(Extent(array.dims[dims[k]] + abs(t), block_sizes[k]))
+    if pdims is None:
+        space = (
+            ProcSpace.linear(vdims[0]) if q == 1 else ProcSpace.grid(vdims)
+        )
+    else:
+        space = ProcSpace(vdims, pdims)
+    return DataDecomp(
+        array, space, tuple(rules), name=f"block{tuple(block_sizes)}"
+    )
+
+
+def cyclic(
+    array: Array,
+    dims: Optional[Sequence[int]] = None,
+    pdims=None,
+) -> DataDecomp:
+    """Cyclic distribution: virtual processor k owns row/element k.
+
+    The paper's LU example: D = { (a, p) | p <= U*a < p + 1 } -- block
+    size 1 onto a virtual space as large as the array dimension, folded
+    cyclically onto the physical machine.
+    """
+    return block(
+        array, [1] * (1 if dims is None else len(dims)), dims=dims, pdims=pdims
+    )
+
+
+def block_cyclic(
+    array: Array,
+    block_sizes: Sequence[int],
+    dims: Optional[Sequence[int]] = None,
+    pdims=None,
+) -> DataDecomp:
+    """Blocks dealt round-robin: block size b onto a virtual space of
+    ceil(size/b) processors, folded cyclically."""
+    return block(array, block_sizes, dims=dims, pdims=pdims)
+
+
+def replicated(array: Array, space: Optional[ProcSpace] = None) -> DataDecomp:
+    """Full replication (Figure 4(a)): every processor owns everything."""
+    if space is None:
+        space = ProcSpace.linear(LinExpr.var("P"), LinExpr.var("P"))
+    return DataDecomp(
+        array, space, tuple([None] * space.rank), name="replicated"
+    )
+
+
+def skewed(
+    array: Array,
+    rows: Sequence[Sequence[int]],
+    block_sizes: Sequence[int],
+    shifts: Sequence[int] = (),
+    pdims=None,
+    extents: Optional[Sequence] = None,
+) -> DataDecomp:
+    """General U-matrix decomposition (Figure 4(d)): processor dimension
+    k holds blocks of the affine form ``rows[k] . a - shifts[k]``."""
+    q = len(rows)
+    phs = dim_placeholders(array.rank)
+    rules = []
+    vdims = []
+    for k in range(q):
+        expr = LinExpr({phs[d]: c for d, c in enumerate(rows[k])})
+        t = shifts[k] if k < len(shifts) else 0
+        expr = expr - t
+        rules.append(DimRule(expr, block=block_sizes[k]))
+        if extents is not None:
+            vdims.append(Extent.coerce(extents[k]))
+        else:
+            # safe default: bound by the sum of |row| * dim sizes
+            bound = LinExpr.const_expr(1)
+            for d, c in enumerate(rows[k]):
+                if c:
+                    bound = bound + array.dims[d] * abs(c)
+            vdims.append(Extent(bound, block_sizes[k]))
+    space = ProcSpace(vdims, pdims) if pdims is not None else (
+        ProcSpace.linear(vdims[0]) if q == 1 else ProcSpace.grid(vdims)
+    )
+    return DataDecomp(array, space, tuple(rules), name="skewed")

@@ -1,0 +1,147 @@
+"""Processor spaces: virtual processor arrays and the map to physical.
+
+Section 4.1: computation and data decompositions map onto a *virtual*
+processor array; each dimension is folded onto the physical processor
+array cyclically (``pi(p) = p mod P``) whenever the physical extent is
+smaller.  Keeping the extents symbolic (``P``) lets generated SPMD code
+run on any machine size, exactly like the paper's Figure 13 output.
+
+A virtual extent is ``ceil(numerator / divisor)`` with an affine
+numerator -- that form covers both plain extents (divisor 1) and the
+``ceil(size / block)`` extents of blocked decompositions, while the
+virtual-domain constraint stays affine: ``divisor * p <= numerator - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple, Union
+
+from ..polyhedra import LinExpr, System
+
+ExtentLike = Union[LinExpr, int, Tuple[Union[LinExpr, int], int]]
+
+
+class Extent:
+    """``ceil(numerator / divisor)`` with affine numerator, divisor >= 1."""
+
+    __slots__ = ("numerator", "divisor")
+
+    def __init__(self, numerator, divisor: int = 1):
+        self.numerator = LinExpr.coerce(numerator)
+        self.divisor = int(divisor)
+        if self.divisor < 1:
+            raise ValueError("extent divisor must be positive")
+
+    @staticmethod
+    def coerce(value: ExtentLike) -> "Extent":
+        if isinstance(value, Extent):
+            return value
+        if isinstance(value, tuple):
+            return Extent(value[0], value[1])
+        return Extent(value)
+
+    def evaluate(self, params: Mapping[str, int]) -> int:
+        return -(-self.numerator.evaluate(params) // self.divisor)
+
+    def domain_upper(self, proc: str) -> LinExpr:
+        """The constraint ``p <= extent - 1`` as ``expr >= 0``."""
+        return self.numerator - 1 - LinExpr.var(proc, self.divisor)
+
+    def __str__(self) -> str:
+        if self.divisor == 1:
+            return str(self.numerator)
+        return f"ceil(({self.numerator}) / {self.divisor})"
+
+
+class ProcSpace:
+    """A q-dimensional virtual processor space with physical extents."""
+
+    def __init__(
+        self,
+        vdims: Sequence[ExtentLike],
+        pdims: Sequence[Union[LinExpr, int]],
+    ):
+        self.vdims: Tuple[Extent, ...] = tuple(
+            Extent.coerce(v) for v in vdims
+        )
+        self.pdims: Tuple[LinExpr, ...] = tuple(
+            LinExpr.coerce(p) for p in pdims
+        )
+        if len(self.vdims) != len(self.pdims):
+            raise ValueError("virtual/physical ranks differ")
+
+    @property
+    def rank(self) -> int:
+        return len(self.vdims)
+
+    def virtual_var_names(self, suffix: str = "") -> Tuple[str, ...]:
+        return tuple(f"p{k}{suffix}" for k in range(self.rank))
+
+    def virtual_domain(self, names: Sequence[str]) -> System:
+        """``0 <= p_k <= vdims[k] - 1`` for each dimension (affine)."""
+        out = System()
+        for name, extent in zip(names, self.vdims):
+            out.add_inequality(LinExpr.var(name))
+            out.add_inequality(extent.domain_upper(name))
+        return out
+
+    def is_cyclic(self, params: Mapping[str, int]) -> Tuple[bool, ...]:
+        """Per dimension: does the virtual extent exceed the physical?"""
+        return tuple(
+            v.evaluate(params) > p.evaluate(params)
+            for v, p in zip(self.vdims, self.pdims)
+        )
+
+    def to_physical(
+        self, virtual: Tuple[int, ...], params: Mapping[str, int]
+    ) -> Tuple[int, ...]:
+        """pi(p): fold each dimension modulo its physical extent."""
+        return tuple(
+            v % pd.evaluate(params) for v, pd in zip(virtual, self.pdims)
+        )
+
+    def physical_shape(self, params: Mapping[str, int]) -> Tuple[int, ...]:
+        return tuple(pd.evaluate(params) for pd in self.pdims)
+
+    def physical_count(self, params: Mapping[str, int]) -> int:
+        total = 1
+        for pd in self.pdims:
+            total *= pd.evaluate(params)
+        return total
+
+    def virtual_shape(self, params: Mapping[str, int]) -> Tuple[int, ...]:
+        return tuple(v.evaluate(params) for v in self.vdims)
+
+    def virtual_count(self, params: Mapping[str, int]) -> int:
+        total = 1
+        for v in self.vdims:
+            total *= v.evaluate(params)
+        return total
+
+    def all_physical(self, params: Mapping[str, int]):
+        """Iterate every physical processor coordinate."""
+        shape = self.physical_shape(params)
+        coords = [()]
+        for extent in shape:
+            coords = [c + (k,) for c in coords for k in range(extent)]
+        return coords
+
+    @staticmethod
+    def linear(vdim: ExtentLike, pdim=None) -> "ProcSpace":
+        """A 1-D space; physical extent defaults to the symbol ``P``."""
+        if pdim is None:
+            pdim = LinExpr.var("P")
+        return ProcSpace((vdim,), (pdim,))
+
+    @staticmethod
+    def grid(vdims: Sequence[ExtentLike], pdims=None) -> "ProcSpace":
+        """A q-D space; physical extents default to ``P0..P{q-1}``."""
+        vdims = tuple(vdims)
+        if pdims is None:
+            pdims = tuple(LinExpr.var(f"P{k}") for k in range(len(vdims)))
+        return ProcSpace(vdims, pdims)
+
+    def __str__(self) -> str:
+        v = " x ".join(str(d) for d in self.vdims)
+        p = " x ".join(str(d) for d in self.pdims)
+        return f"ProcSpace(virtual {v} on physical {p})"

@@ -1,0 +1,104 @@
+"""Arrays and affine array accesses (paper Section 4.1).
+
+An array has symbolic dimension sizes; an access maps an iteration vector
+to array indices through affine functions of loop indices and symbolic
+constants: ``f(i1..in) = (a1..am)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..polyhedra import LinExpr, System
+
+
+@dataclass(frozen=True)
+class Array:
+    """A dense array with affine (usually symbolic) dimension sizes.
+
+    ``dims`` holds one LinExpr per dimension; the index set is
+    ``0 <= a_k < dims[k]`` (Section 4.1's index-set definition).
+    """
+
+    name: str
+    dims: Tuple[LinExpr, ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "dims", tuple(LinExpr.coerce(d) for d in self.dims)
+        )
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def index_names(self, suffix: str = "") -> Tuple[str, ...]:
+        """Canonical variable names for this array's index space."""
+        return tuple(f"{self.name}${k}{suffix}" for k in range(self.rank))
+
+    def index_domain(self, names: Tuple[str, ...]) -> System:
+        """``0 <= names[k] <= dims[k] - 1`` as a System."""
+        out = System()
+        for name, dim in zip(names, self.dims):
+            out.add_range(LinExpr.var(name), 0, dim - 1)
+        return out
+
+    def shape(self, params: Mapping[str, int]) -> Tuple[int, ...]:
+        return tuple(d.evaluate(params) for d in self.dims)
+
+    def __str__(self) -> str:
+        dims = "][".join(str(d) for d in self.dims)
+        return f"{self.name}[{dims}]"
+
+
+@dataclass(frozen=True)
+class Access:
+    """An affine array access ``array[e1]...[em]``."""
+
+    array: Array
+    indices: Tuple[LinExpr, ...]
+
+    def __post_init__(self):
+        indices = tuple(LinExpr.coerce(e) for e in self.indices)
+        if len(indices) != self.array.rank:
+            raise ValueError(
+                f"access to {self.array.name} has {len(indices)} subscripts,"
+                f" array rank is {self.array.rank}"
+            )
+        object.__setattr__(self, "indices", indices)
+
+    def evaluate(self, env: Mapping[str, int]) -> Tuple[int, ...]:
+        return tuple(e.evaluate(env) for e in self.indices)
+
+    def substitute(self, env) -> "Access":
+        return Access(self.array, tuple(e.substitute(env) for e in self.indices))
+
+    def rename(self, mapping) -> "Access":
+        return Access(self.array, tuple(e.rename(mapping) for e in self.indices))
+
+    def equate_to(self, names: Tuple[str, ...]) -> System:
+        """``names[k] == indices[k]`` as a System (binds array-space vars)."""
+        out = System()
+        for name, expr in zip(names, self.indices):
+            out.add_eq(LinExpr.var(name), expr)
+        return out
+
+    def variables(self) -> frozenset:
+        out = frozenset()
+        for expr in self.indices:
+            out |= expr.variables()
+        return out
+
+    def is_uniform_with(self, other: "Access") -> bool:
+        """Uniformly generated references [13]: same array, index functions
+        differing only in the constant terms."""
+        if self.array is not other.array:
+            return False
+        return all(
+            (a - b).is_constant() for a, b in zip(self.indices, other.indices)
+        )
+
+    def __str__(self) -> str:
+        subs = "][".join(str(e) for e in self.indices)
+        return f"{self.array.name}[{subs}]"

@@ -1,0 +1,6 @@
+"""Mini-language front end for the paper's loop pseudo-code."""
+
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+
+__all__ = ["LexError", "ParseError", "Token", "parse", "tokenize"]

@@ -1,0 +1,88 @@
+"""Tokenizer for the paper's loop pseudo-language.
+
+Indentation-sensitive, Python-style: INDENT/DEDENT tokens delimit loop
+bodies, mirroring how the paper lays out its examples::
+
+    for t = 0 to T do
+      for i = 3 to N do
+        X[i] = X[i - 3]
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class LexError(Exception):
+    """Bad character or inconsistent indentation."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # IDENT NUMBER OP KEYWORD NEWLINE INDENT DEDENT EOF
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self):
+        return f"{self.kind}({self.value!r})"
+
+
+KEYWORDS = {"for", "to", "do", "step", "array", "assume", "if", "then", "min", "max"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<NUMBER>\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<OP><=|>=|==|!=|[+\-*/%()\[\]=,:<>])
+  | (?P<WS>[ \t]+)
+  | (?P<COMMENT>\#[^\n]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Produce the token stream, including INDENT/DEDENT bookkeeping."""
+    tokens: List[Token] = []
+    indents = [0]
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.lstrip(" \t")
+        if not stripped or stripped.startswith("#"):
+            continue
+        indent = len(line) - len(stripped)
+        if "\t" in line[: indent]:
+            raise LexError(f"line {lineno}: tabs in indentation; use spaces")
+        if indent > indents[-1]:
+            indents.append(indent)
+            tokens.append(Token("INDENT", "", lineno, 0))
+        else:
+            while indent < indents[-1]:
+                indents.pop()
+                tokens.append(Token("DEDENT", "", lineno, 0))
+            if indent != indents[-1]:
+                raise LexError(f"line {lineno}: inconsistent dedent")
+        col = indent
+        pos = 0
+        while pos < len(stripped):
+            match = _TOKEN_RE.match(stripped, pos)
+            if not match:
+                raise LexError(
+                    f"line {lineno}: unexpected character {stripped[pos]!r}"
+                )
+            kind = match.lastgroup
+            text = match.group()
+            if kind == "IDENT" and text in KEYWORDS:
+                kind = "KEYWORD"
+            if kind not in ("WS", "COMMENT"):
+                tokens.append(Token(kind, text, lineno, col + pos))
+            pos = match.end()
+        tokens.append(Token("NEWLINE", "", lineno, col + pos))
+    while len(indents) > 1:
+        indents.pop()
+        tokens.append(Token("DEDENT", "", 0, 0))
+    tokens.append(Token("EOF", "", 0, 0))
+    return tokens

@@ -1,0 +1,102 @@
+"""Polyhedral substrate: affine expressions, inequality systems,
+Fourier-Motzkin projection, the Omega integer test, and Ancourt-Irigoin
+loop scanning.
+
+The paper's central claim (Section 1) is that data decompositions,
+computation decompositions and dataflow information can all be expressed
+as systems of linear inequalities, and every code-generation question
+answered by projecting those systems onto lower-dimensional spaces.
+This package is that machinery.
+"""
+
+from .affine import LinExpr, const, linear_combination, var
+from .bexpr import (
+    BExpr,
+    CeilDiv,
+    Combo,
+    FloorDiv,
+    Lin,
+    MaxE,
+    MinE,
+    ModE,
+    lower_bound_expr,
+    simplify_bexpr,
+    upper_bound_expr,
+)
+from .fourier_motzkin import (
+    VarBounds,
+    eliminate,
+    eliminate_many,
+    extract_bounds,
+    rational_feasible,
+)
+from .lexmax import (
+    LexMaxUnsupportedError,
+    LexPiece,
+    parametric_lexmax,
+    parametric_lexmin,
+    subtract_piece,
+)
+from .omega import (
+    OmegaDepthError,
+    eliminate_equalities,
+    enumerate_points,
+    implies_equality,
+    implies_inequality,
+    integer_feasible,
+    is_empty,
+    remove_redundant,
+    sample_point,
+)
+from .scan import (
+    EmptyPolyhedronError,
+    ScanLoop,
+    ScanResult,
+    enumerate_scan,
+    scan,
+)
+from .system import InfeasibleError, System
+
+__all__ = [
+    "BExpr",
+    "CeilDiv",
+    "Combo",
+    "EmptyPolyhedronError",
+    "FloorDiv",
+    "InfeasibleError",
+    "LexMaxUnsupportedError",
+    "LexPiece",
+    "Lin",
+    "LinExpr",
+    "MaxE",
+    "MinE",
+    "ModE",
+    "OmegaDepthError",
+    "ScanLoop",
+    "ScanResult",
+    "System",
+    "VarBounds",
+    "const",
+    "eliminate",
+    "eliminate_equalities",
+    "eliminate_many",
+    "enumerate_points",
+    "enumerate_scan",
+    "extract_bounds",
+    "implies_equality",
+    "implies_inequality",
+    "integer_feasible",
+    "is_empty",
+    "linear_combination",
+    "lower_bound_expr",
+    "parametric_lexmax",
+    "parametric_lexmin",
+    "rational_feasible",
+    "remove_redundant",
+    "sample_point",
+    "scan",
+    "simplify_bexpr",
+    "subtract_piece",
+    "upper_bound_expr",
+    "var",
+]

@@ -1,0 +1,237 @@
+"""Integer affine expressions over named variables.
+
+Everything in the paper -- loop bounds, array subscripts, decompositions,
+last-write relations -- is an affine function of loop indices and symbolic
+constants.  ``LinExpr`` is the shared currency: an immutable linear
+expression with integer coefficients plus an integer constant term.
+
+Variables are plain strings.  By convention the rest of the package uses
+suffixes to keep variable roles apart when several spaces are glued into
+one system (e.g. ``i$r`` for a read iteration variable, ``i$w`` for a
+write iteration variable, ``p$r``/``p$s`` for processor variables).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Coeffs = Dict[str, int]
+ExprLike = Union["LinExpr", int]
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff[v] * v) + const`` with int coeffs."""
+
+    __slots__ = ("_coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+        clean: Coeffs = {}
+        if coeffs:
+            for var, coeff in coeffs.items():
+                coeff = int(coeff)
+                if coeff != 0:
+                    clean[var] = coeff
+        self._coeffs = clean
+        self.const = int(const)
+        self._hash: int | None = None
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def var(name: str, coeff: int = 1) -> "LinExpr":
+        """The expression ``coeff * name``."""
+        return LinExpr({name: coeff})
+
+    @staticmethod
+    def const_expr(value: int) -> "LinExpr":
+        """The constant expression ``value``."""
+        return LinExpr({}, value)
+
+    @staticmethod
+    def coerce(value: ExprLike) -> "LinExpr":
+        """Turn an int into a constant expression; pass LinExpr through."""
+        if isinstance(value, LinExpr):
+            return value
+        return LinExpr({}, int(value))
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def coeffs(self) -> Coeffs:
+        return dict(self._coeffs)
+
+    def coeff(self, var: str) -> int:
+        return self._coeffs.get(var, 0)
+
+    def variables(self) -> frozenset:
+        return frozenset(self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def is_zero(self) -> bool:
+        return not self._coeffs and self.const == 0
+
+    def terms(self) -> Iterable[Tuple[str, int]]:
+        return self._coeffs.items()
+
+    def content(self) -> int:
+        """gcd of all coefficients (not the constant); 0 if constant."""
+        g = 0
+        for coeff in self._coeffs.values():
+            g = math.gcd(g, abs(coeff))
+        return g
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        other = LinExpr.coerce(other)
+        coeffs = dict(self._coeffs)
+        for var, coeff in other._coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + coeff
+        return LinExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self + (-LinExpr.coerce(other))
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return LinExpr.coerce(other) + (-self)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self._coeffs.items()}, -self.const)
+
+    def __mul__(self, scalar: int) -> "LinExpr":
+        scalar = int(scalar)
+        return LinExpr(
+            {v: c * scalar for v, c in self._coeffs.items()}, self.const * scalar
+        )
+
+    __rmul__ = __mul__
+
+    def divide_exact(self, divisor: int) -> "LinExpr":
+        """Divide every coefficient and the constant by ``divisor``.
+
+        Raises ValueError if any term is not divisible.
+        """
+        if divisor == 0:
+            raise ValueError("division by zero")
+        coeffs = {}
+        for var, coeff in self._coeffs.items():
+            if coeff % divisor:
+                raise ValueError(f"{coeff}*{var} not divisible by {divisor}")
+            coeffs[var] = coeff // divisor
+        if self.const % divisor:
+            raise ValueError(f"constant {self.const} not divisible by {divisor}")
+        return LinExpr(coeffs, self.const // divisor)
+
+    def normalized_ineq(self) -> "LinExpr":
+        """Tighten ``self >= 0`` over the integers.
+
+        Divides by the gcd of the coefficients, taking the floor of the
+        constant term -- the standard integer tightening step.
+        """
+        g = self.content()
+        if g <= 1:
+            return self
+        coeffs = {v: c // g for v, c in self._coeffs.items()}
+        return LinExpr(coeffs, self.const // g)  # floor division tightens
+
+    # -- substitution / evaluation ------------------------------------------
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> "LinExpr":
+        """Replace each variable in ``env`` by the given expression."""
+        result = LinExpr({}, self.const)
+        for var, coeff in self._coeffs.items():
+            if var in env:
+                result = result + LinExpr.coerce(env[var]) * coeff
+            else:
+                result = result + LinExpr.var(var, coeff)
+        return result
+
+    def substitute_scaled(self, var: str, replacement: "LinExpr", scale: int) -> "LinExpr":
+        """Substitute ``var := replacement / scale`` assuming ``scale * var ==
+        replacement``; multiplies the rest of the expression by ``scale``.
+
+        Returns an expression equal to ``scale * self`` with ``var``
+        eliminated.  Used when an equality pins ``scale*var == replacement``.
+        """
+        coeff = self.coeff(var)
+        rest = LinExpr(
+            {v: c for v, c in self._coeffs.items() if v != var}, self.const
+        )
+        return rest * scale + replacement * coeff
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        coeffs: Coeffs = {}
+        for var, coeff in self._coeffs.items():
+            new = mapping.get(var, var)
+            coeffs[new] = coeffs.get(new, 0) + coeff
+        return LinExpr(coeffs, self.const)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        total = self.const
+        for var, coeff in self._coeffs.items():
+            total += coeff * env[var]
+        return total
+
+    # -- equality / display ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (frozenset(self._coeffs.items()), self.const)
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for var in sorted(self._coeffs):
+            coeff = self._coeffs[var]
+            if coeff == 1:
+                term = var
+            elif coeff == -1:
+                term = f"-{var}"
+            else:
+                term = f"{coeff}*{var}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self.const or not parts:
+            if parts:
+                sign = "+" if self.const >= 0 else "-"
+                parts.append(f"{sign} {abs(self.const)}")
+            else:
+                parts.append(str(self.const))
+        return " ".join(parts)
+
+
+def var(name: str) -> LinExpr:
+    """Shorthand for :meth:`LinExpr.var`."""
+    return LinExpr.var(name)
+
+
+def const(value: int) -> LinExpr:
+    """Shorthand for :meth:`LinExpr.const_expr`."""
+    return LinExpr.const_expr(value)
+
+
+def linear_combination(pairs: Iterable[Tuple[int, str]], constant: int = 0) -> LinExpr:
+    """Build ``sum(c*v) + constant`` from (coeff, var) pairs."""
+    coeffs: Coeffs = {}
+    for coeff, name in pairs:
+        coeffs[name] = coeffs.get(name, 0) + coeff
+    return LinExpr(coeffs, constant)

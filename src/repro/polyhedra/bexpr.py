@@ -1,0 +1,224 @@
+"""Bound expressions: the quasi-affine terms produced by scanning.
+
+Loop bounds generated from a polyhedron are not plain affine expressions:
+they involve integer ceiling/floor divisions and max/min over several
+candidate bounds (Section 5.2).  ``BExpr`` is the small expression
+language shared by the scanner and the code generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+from .affine import LinExpr
+
+
+class BExpr:
+    """Base class for generated bound expressions."""
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Lin(BExpr):
+    """A plain affine expression."""
+
+    expr: LinExpr
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.expr.evaluate(env)
+
+    def variables(self) -> frozenset:
+        return self.expr.variables()
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class CeilDiv(BExpr):
+    """``ceil(num / den)`` with den > 0."""
+
+    num: BExpr
+    den: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        value = self.num.evaluate(env)
+        return -((-value) // self.den)
+
+    def variables(self) -> frozenset:
+        return self.num.variables()
+
+    def __str__(self) -> str:
+        return f"ceild({self.num}, {self.den})"
+
+
+@dataclass(frozen=True)
+class FloorDiv(BExpr):
+    """``floor(num / den)`` with den > 0."""
+
+    num: BExpr
+    den: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.num.evaluate(env) // self.den
+
+    def variables(self) -> frozenset:
+        return self.num.variables()
+
+    def __str__(self) -> str:
+        return f"floord({self.num}, {self.den})"
+
+
+@dataclass(frozen=True)
+class MaxE(BExpr):
+    """Maximum of several bound expressions."""
+
+    items: Tuple[BExpr, ...]
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return max(item.evaluate(env) for item in self.items)
+
+    def variables(self) -> frozenset:
+        out = frozenset()
+        for item in self.items:
+            out |= item.variables()
+        return out
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(item) for item in self.items)
+        return f"max({inner})"
+
+
+@dataclass(frozen=True)
+class MinE(BExpr):
+    """Minimum of several bound expressions."""
+
+    items: Tuple[BExpr, ...]
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return min(item.evaluate(env) for item in self.items)
+
+    def variables(self) -> frozenset:
+        out = frozenset()
+        for item in self.items:
+            out |= item.variables()
+        return out
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(item) for item in self.items)
+        return f"min({inner})"
+
+
+@dataclass(frozen=True)
+class Combo(BExpr):
+    """``sum(coef * item) + const`` over bound expressions.
+
+    Needed by stride recovery, where a loop start looks like
+    ``P * ceild(l - beta, P) + beta``.
+    """
+
+    terms: Tuple[Tuple[int, BExpr], ...]
+    const: int = 0
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        total = self.const
+        for coef, item in self.terms:
+            total += coef * item.evaluate(env)
+        return total
+
+    def variables(self) -> frozenset:
+        out = frozenset()
+        for _, item in self.terms:
+            out |= item.variables()
+        return out
+
+    def __str__(self) -> str:
+        parts = []
+        for coef, item in self.terms:
+            if coef == 1:
+                parts.append(f"{item}")
+            else:
+                parts.append(f"{coef}*({item})")
+        text = " + ".join(parts)
+        if self.const:
+            sign = "+" if self.const > 0 else "-"
+            text = f"{text} {sign} {abs(self.const)}"
+        return text
+
+
+@dataclass(frozen=True)
+class ModE(BExpr):
+    """``num mod den`` with den > 0 (virtual-to-physical mapping pi)."""
+
+    num: BExpr
+    den: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.num.evaluate(env) % self.den
+
+    def variables(self) -> frozenset:
+        return self.num.variables()
+
+    def __str__(self) -> str:
+        return f"(({self.num}) % {self.den})"
+
+
+def lower_bound_expr(bounds: Sequence[Tuple[int, LinExpr]]) -> BExpr:
+    """``max(ceil(f/a) ...)`` for lower bounds ``a*v >= f``."""
+    items: List[BExpr] = []
+    for a, f in bounds:
+        items.append(Lin(f) if a == 1 else CeilDiv(Lin(f), a))
+    if len(items) == 1:
+        return items[0]
+    return MaxE(tuple(items))
+
+
+def upper_bound_expr(bounds: Sequence[Tuple[int, LinExpr]]) -> BExpr:
+    """``min(floor(g/b) ...)`` for upper bounds ``b*v <= g``."""
+    items: List[BExpr] = []
+    for b, g in bounds:
+        items.append(Lin(g) if b == 1 else FloorDiv(Lin(g), b))
+    if len(items) == 1:
+        return items[0]
+    return MinE(tuple(items))
+
+
+def simplify_bexpr(expr: BExpr) -> BExpr:
+    """Light structural simplification (flatten nested max/min, unit divs)."""
+    if isinstance(expr, (CeilDiv, FloorDiv)):
+        inner = simplify_bexpr(expr.num)
+        if expr.den == 1:
+            return inner
+        return type(expr)(inner, expr.den)
+    if isinstance(expr, MaxE):
+        items = []
+        for item in expr.items:
+            item = simplify_bexpr(item)
+            if isinstance(item, MaxE):
+                items.extend(item.items)
+            else:
+                items.append(item)
+        unique = tuple(dict.fromkeys(items))
+        return unique[0] if len(unique) == 1 else MaxE(unique)
+    if isinstance(expr, MinE):
+        items = []
+        for item in expr.items:
+            item = simplify_bexpr(item)
+            if isinstance(item, MinE):
+                items.extend(item.items)
+            else:
+                items.append(item)
+        unique = tuple(dict.fromkeys(items))
+        return unique[0] if len(unique) == 1 else MinE(unique)
+    if isinstance(expr, Combo):
+        terms = tuple((c, simplify_bexpr(e)) for c, e in expr.terms)
+        if len(terms) == 1 and terms[0][0] == 1 and expr.const == 0:
+            return terms[0][1]
+        return Combo(terms, expr.const)
+    return expr

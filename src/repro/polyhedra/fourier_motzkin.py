@@ -1,0 +1,137 @@
+"""Fourier-Motzkin elimination (projection of polyhedra).
+
+Section 5.1 of the paper: projection of an n-dimensional polyhedron onto
+an (n-1)-dimensional space is a single step of Fourier-Motzkin
+elimination.  The real-shadow projection computed here is used for
+scanning (loop-bound generation); exact integer reasoning lives in
+:mod:`repro.polyhedra.omega` on top of these primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .affine import LinExpr
+from .system import InfeasibleError, System
+
+
+@dataclass
+class VarBounds:
+    """Bounds on one variable ``v`` extracted from a system.
+
+    ``lowers`` holds pairs ``(a, f)`` with ``a > 0`` meaning ``a*v >= f``;
+    ``uppers`` holds pairs ``(b, g)`` with ``b > 0`` meaning ``b*v <= g``.
+    ``rest`` is the list of inequalities not involving ``v``.
+    Equalities involving ``v`` are split into one lower and one upper pair.
+    """
+
+    var: str
+    lowers: List[Tuple[int, LinExpr]]
+    uppers: List[Tuple[int, LinExpr]]
+    rest: System
+
+
+def extract_bounds(system: System, name: str) -> VarBounds:
+    """Split ``system`` into lower/upper bounds on ``name`` and the rest."""
+    lowers: List[Tuple[int, LinExpr]] = []
+    uppers: List[Tuple[int, LinExpr]] = []
+    rest = System()
+    for eq in system.equalities:
+        coeff = eq.coeff(name)
+        if coeff == 0:
+            rest.add_equality(eq)
+            continue
+        # a*v + rest == 0  =>  a*v == -rest : both a lower and an upper bound
+        other = eq - LinExpr.var(name, coeff)
+        if coeff > 0:
+            lowers.append((coeff, -other))
+            uppers.append((coeff, -other))
+        else:
+            lowers.append((-coeff, other))
+            uppers.append((-coeff, other))
+    for ineq in system.inequalities:
+        coeff = ineq.coeff(name)
+        other = ineq - LinExpr.var(name, coeff)
+        if coeff == 0:
+            rest.add_inequality(ineq)
+        elif coeff > 0:
+            # coeff*v + other >= 0  =>  coeff*v >= -other
+            lowers.append((coeff, -other))
+        else:
+            # -|coeff|*v + other >= 0  =>  |coeff|*v <= other
+            uppers.append((-coeff, other))
+    return VarBounds(name, lowers, uppers, rest)
+
+
+def eliminate(system: System, name: str) -> System:
+    """Project out ``name``: the real shadow of the polyhedron.
+
+    Every solution of ``system`` maps to a solution of the result;
+    the converse holds over the rationals but not always over the
+    integers (the classic FM caveat the paper notes in Section 5.1).
+
+    Raises InfeasibleError when a combined constraint is a negative
+    constant (the projection is empty).
+    """
+    bounds = extract_bounds(system, name)
+    out = bounds.rest
+    for a, f in bounds.lowers:
+        for b, g in bounds.uppers:
+            # a*v >= f and b*v <= g  =>  a*g - b*f >= 0
+            out.add_inequality(g * a - f * b)
+    return out
+
+
+def eliminate_exact_flag(system: System, name: str) -> Tuple[System, bool]:
+    """Like :func:`eliminate` but also report integer-exactness.
+
+    The elimination step is exact over the integers when for every
+    combined pair at least one of the two coefficients of the eliminated
+    variable is 1 (Pugh's exactness condition).
+    """
+    bounds = extract_bounds(system, name)
+    out = bounds.rest
+    exact = True
+    for a, f in bounds.lowers:
+        for b, g in bounds.uppers:
+            out.add_inequality(g * a - f * b)
+            if a != 1 and b != 1:
+                exact = False
+    return out, exact
+
+
+def eliminate_many(system: System, names) -> System:
+    """Project out several variables, cheapest-first.
+
+    Chooses at each step the variable whose elimination produces the
+    fewest combined constraints (the usual FM heuristic).
+    """
+    remaining = [n for n in names if system.involves(n)]
+    current = system
+    while remaining:
+        best = None
+        best_cost = None
+        for name in remaining:
+            bounds = extract_bounds(current, name)
+            cost = len(bounds.lowers) * len(bounds.uppers)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = name, cost
+        current = eliminate(current, best)
+        remaining.remove(best)
+        remaining = [n for n in remaining if current.involves(n)]
+    return current
+
+
+def rational_feasible(system: System) -> bool:
+    """Does the system have a rational solution?  Pure FM descent."""
+    try:
+        current = system.copy()
+        # Use equalities as substitutions where possible is an
+        # optimization; plain FM handles them via paired bounds.
+        for name in list(current.variables()):
+            if current.involves(name):
+                current = eliminate(current, name)
+    except InfeasibleError:
+        return False
+    return True

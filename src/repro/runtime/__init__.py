@@ -1,0 +1,25 @@
+"""Distributed-memory machine simulator (substitute for the iPSC/860)."""
+
+from .collective import CollectiveStats, reorganize
+from .machine import (
+    CostModel,
+    DeadlockError,
+    Machine,
+    ProcStats,
+    Processor,
+    RunResult,
+)
+from .validate import check_against_sequential, run_spmd
+
+__all__ = [
+    "CollectiveStats",
+    "CostModel",
+    "DeadlockError",
+    "Machine",
+    "ProcStats",
+    "Processor",
+    "RunResult",
+    "check_against_sequential",
+    "reorganize",
+    "run_spmd",
+]

@@ -1,0 +1,90 @@
+"""Collective data reorganization between program regions.
+
+Section 1: the decomposition phase inserts major data reorganizations
+(e.g. matrix transposes between a row sweep and a column sweep) at
+region boundaries, implemented "using collective communication
+routines" [18]; the compiler of this paper generates code *between*
+reorganizations.  This module supplies that substrate: an all-to-all
+relayout of an array from one data decomposition to another, with the
+same cost accounting as point-to-point messages (elements between each
+physical pair batched into one message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..decomp import DataDecomp
+from .machine import CostModel
+
+
+@dataclass
+class CollectiveStats:
+    """Traffic and time of one reorganization."""
+
+    messages: int = 0
+    words: int = 0
+    elapsed: float = 0.0
+    per_pair: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = field(
+        default_factory=dict
+    )
+
+
+def reorganize(
+    arrays_by_proc: Dict[Tuple[int, ...], Dict[str, np.ndarray]],
+    array_name: str,
+    from_decomp: DataDecomp,
+    to_decomp: DataDecomp,
+    params: Mapping[str, int],
+    cost: Optional[CostModel] = None,
+) -> CollectiveStats:
+    """Relayout ``array_name`` from one decomposition to the other.
+
+    Mutates the per-processor arrays in place: every element present
+    under ``from_decomp`` is delivered to every physical processor that
+    owns it under ``to_decomp``.  Elements already resident locally
+    (source and destination co-located) move for free; the rest are
+    batched into one message per (source, destination) pair -- the
+    collective routine's behaviour.
+
+    The elapsed estimate assumes all pairs proceed in parallel: the
+    slowest (largest) transfer plus one startup, the standard model for
+    an all-to-all personalized exchange.
+    """
+    cost = cost or CostModel()
+    stats = CollectiveStats()
+    shape = next(iter(arrays_by_proc.values()))[array_name].shape
+
+    def physical(decomp: DataDecomp, owner) -> Tuple[int, ...]:
+        return tuple(decomp.space.to_physical(tuple(owner), params))
+
+    for element in np.ndindex(*shape):
+        sources = [
+            physical(from_decomp, o)
+            for o in from_decomp.owners(element, params)
+        ]
+        if not sources:
+            continue
+        dests = {
+            physical(to_decomp, o)
+            for o in to_decomp.owners(element, params)
+        }
+        src = sources[0]
+        value = arrays_by_proc[src][array_name][element]
+        for dst in dests:
+            if dst in sources:
+                continue  # already resident under the old layout
+            arrays_by_proc[dst][array_name][element] = value
+            stats.per_pair[(src, dst)] = (
+                stats.per_pair.get((src, dst), 0) + 1
+            )
+            stats.words += 1
+
+    stats.messages = len(stats.per_pair)
+    if stats.per_pair:
+        largest = max(stats.per_pair.values())
+        stats.elapsed = cost.alpha + cost.beta * largest + cost.latency
+    return stats

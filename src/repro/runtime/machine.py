@@ -1,0 +1,277 @@
+"""A deterministic distributed-memory machine simulator.
+
+Substitute for the paper's Intel iPSC/860: P processors, each with a
+private address space, exchanging point-to-point messages.  Each
+processor runs the generated SPMD node program in its own thread;
+channels are tagged mailboxes (values are deterministic regardless of
+thread scheduling), and time is modeled with per-processor Lamport
+clocks under a LogGP-like cost model:
+
+* ``flop_time`` per scalar operation executed;
+* ``alpha`` per message at the sender (software overhead);
+* ``beta`` per word (inverse bandwidth);
+* ``latency`` wire time until the message is available;
+* ``recv_overhead`` at the receiver.
+
+A receive sets ``clock = max(clock + recv_overhead, arrival)`` -- the
+receiver stalls until the data exist.  The makespan (max final clock)
+reproduces exactly the phenomena Figure 14 measures: communication
+overhead, pipeline stalls, and overlap of communication with
+computation.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..decomp import DataDecomp, ProcSpace
+from ..ir import Program, allocate_arrays
+
+
+class DeadlockError(Exception):
+    """A processor waited too long for a message."""
+
+
+@dataclass
+class CostModel:
+    """Per-operation costs in abstract time units.
+
+    Defaults approximate the iPSC/860's ratios: message startup is a
+    few hundred flops, per-word cost a handful of flops.
+    """
+
+    flop_time: float = 1.0
+    alpha: float = 400.0
+    beta: float = 4.0
+    latency: float = 100.0
+    recv_overhead: float = 100.0
+
+
+@dataclass
+class ProcStats:
+    messages_sent: int = 0
+    words_sent: int = 0
+    messages_received: int = 0
+    flops: int = 0
+    compute_time: float = 0.0
+    stall_time: float = 0.0
+    multicasts: int = 0
+
+
+@dataclass
+class RunResult:
+    arrays: Dict[Tuple[int, ...], Dict[str, np.ndarray]]
+    stats: Dict[Tuple[int, ...], ProcStats]
+    makespan: float
+    total_messages: int
+    total_words: int
+
+    def stat_sum(self, attr: str) -> float:
+        return sum(getattr(s, attr) for s in self.stats.values())
+
+
+class Processor:
+    """One physical processor executing a node program."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        myp: Tuple[int, ...],
+        arrays: Dict[str, np.ndarray],
+    ):
+        self.machine = machine
+        self.myp = myp
+        self.arrays = arrays
+        self.params: Dict[str, int] = dict(machine.params)
+        self.pdims = machine.pshape
+        self.clock = 0.0
+        self.stats = ProcStats()
+        self.mailbox: "queue.Queue" = queue.Queue()
+        self._stash: Dict[tuple, Tuple[List[float], float]] = {}
+        self._mc_cache: Dict[tuple, List[float]] = {}
+        self._stmts = {s.name: s for s in machine.program.statements()}
+
+    # -- node program API ---------------------------------------------------
+
+    def execute(self, stmt_name: str, env: Mapping[str, int]) -> None:
+        stmt = self._stmts[stmt_name]
+        full_env = dict(self.params)
+        full_env.update(env)
+        stmt.execute(self.arrays, full_env)
+        flops = 1 + len(stmt.reads)
+        self.stats.flops += flops
+        cost = flops * self.machine.cost.flop_time
+        self.clock += cost
+        self.stats.compute_time += cost
+
+    def send(self, dest: Tuple[int, ...], tag: tuple, payload: List[float]):
+        cost = self.machine.cost
+        self.clock += cost.alpha + cost.beta * len(payload)
+        self.stats.messages_sent += 1
+        self.stats.words_sent += len(payload)
+        arrival = self.clock + cost.latency
+        self.machine.deliver(dest, tag, list(payload), arrival)
+
+    def multicast(
+        self,
+        dests: List[Tuple[int, ...]],
+        tag: tuple,
+        payload: List[float],
+    ) -> None:
+        """Optimized multi-cast: one startup, per-destination wire cost."""
+        if not dests:
+            return
+        cost = self.machine.cost
+        self.clock += cost.alpha + cost.beta * len(payload)
+        self.stats.multicasts += 1
+        for dest in dests:
+            self.stats.messages_sent += 1
+            self.stats.words_sent += len(payload)
+            arrival = self.clock + cost.latency
+            self.machine.deliver(dest, tag, list(payload), arrival)
+
+    def recv(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
+        # ``src`` is advisory (kept for readable generated code); the tag
+        # alone identifies the message -- it embeds the virtual sender.
+        deadline = self.machine.timeout
+        while tag not in self._stash:
+            try:
+                _src, msg_tag, payload, arrival = self.mailbox.get(
+                    timeout=deadline
+                )
+            except queue.Empty:
+                raise DeadlockError(
+                    f"processor {self.myp} waited on {tag}; has "
+                    f"{list(self._stash)[:5]}"
+                ) from None
+            self._stash[msg_tag] = (payload, arrival)
+        payload, arrival = self._stash.pop(tag)
+        cost = self.machine.cost
+        ready = self.clock + cost.recv_overhead
+        if arrival > ready:
+            self.stats.stall_time += arrival - ready
+        self.clock = max(ready, arrival)
+        self.stats.messages_received += 1
+        return payload
+
+    def recv_mc(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
+        """Receive a per-physical-processor (multicast) message.
+
+        The payload is cached: every virtual processor emulated on this
+        physical node consumes the same message, but only the first
+        consumption pays the receive cost (the rest are local reuse).
+        """
+        if tag in self._mc_cache:
+            return self._mc_cache[tag]
+        payload = self.recv(src, tag)
+        self._mc_cache[tag] = payload
+        return payload
+
+    def tick(self, amount: float) -> None:
+        self.clock += amount
+
+
+class Machine:
+    """P processors with private memories and tagged channels."""
+
+    def __init__(
+        self,
+        program: Program,
+        space: ProcSpace,
+        params: Mapping[str, int],
+        cost: Optional[CostModel] = None,
+        timeout: float = 60.0,
+    ):
+        self.program = program
+        self.space = space
+        self.params = dict(params)
+        self.pshape = space.physical_shape(self.params)
+        self.cost = cost or CostModel()
+        self.timeout = timeout
+        self.procs: Dict[Tuple[int, ...], Processor] = {}
+
+    def deliver(
+        self,
+        dest: Tuple[int, ...],
+        tag: tuple,
+        payload: List[float],
+        arrival: float,
+    ) -> None:
+        proc = self.procs[tuple(dest)]
+        src_tag = tag  # tag already unique per message
+        proc.mailbox.put((None, src_tag, payload, arrival))
+
+    def initial_arrays(
+        self,
+        myp: Tuple[int, ...],
+        initial_data: Optional[Dict[str, DataDecomp]],
+        seed: int,
+    ) -> Dict[str, np.ndarray]:
+        """Per-processor arrays: owned elements get the true initial
+        values, everything else is NaN-poisoned so that reading
+        never-communicated data corrupts results detectably."""
+        golden = allocate_arrays(self.program, self.params, seed)
+        local: Dict[str, np.ndarray] = {}
+        for name, values in golden.items():
+            if initial_data is None or name not in initial_data:
+                local[name] = values.copy()  # replicated everywhere
+                continue
+            decomp = initial_data[name]
+            mine = np.full_like(values, np.nan)
+            it = np.ndindex(*values.shape)
+            for element in it:
+                owners = decomp.owners(element, self.params)
+                for owner in owners:
+                    phys = decomp.space.to_physical(tuple(owner), self.params)
+                    if tuple(phys) == myp:
+                        mine[element] = values[element]
+                        break
+            local[name] = mine
+        return local
+
+    def run(
+        self,
+        node_fn: Callable,
+        initial_data: Optional[Dict[str, DataDecomp]] = None,
+        seed: int = 0,
+    ) -> RunResult:
+        coords = [tuple(c) for c in self.space.all_physical(self.params)]
+        self.procs = {
+            myp: Processor(
+                self, myp, self.initial_arrays(myp, initial_data, seed)
+            )
+            for myp in coords
+        }
+        errors: List[BaseException] = []
+
+        def runner(proc: Processor):
+            try:
+                node_fn(proc)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(proc,), daemon=True)
+            for proc in self.procs.values()
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout * 4)
+            if t.is_alive():
+                raise DeadlockError("node program did not terminate")
+        if errors:
+            raise errors[0]
+        stats = {myp: proc.stats for myp, proc in self.procs.items()}
+        return RunResult(
+            arrays={myp: proc.arrays for myp, proc in self.procs.items()},
+            stats=stats,
+            makespan=max(proc.clock for proc in self.procs.values()),
+            total_messages=sum(s.messages_sent for s in stats.values()),
+            total_words=sum(s.words_sent for s in stats.values()),
+        )

@@ -1,0 +1,128 @@
+"""Baseline tests: regular sections and the location-centric model."""
+
+import pytest
+
+from repro.baselines import (
+    RSD,
+    Section,
+    analyze_program,
+    exact_touched_count,
+    section_of_access,
+)
+from repro.decomp import block
+from repro.lang import parse
+from repro.polyhedra import System, var
+
+
+class TestSection:
+    def test_count(self):
+        assert Section(0, 9, 1).count() == 10
+        assert Section(0, 9, 3).count() == 4
+        assert Section(5, 4, 1).count() == 0
+
+    def test_contains(self):
+        s = Section(2, 10, 4)
+        assert s.contains(6)
+        assert not s.contains(7)
+        assert not s.contains(14)
+
+    def test_hull_strides(self):
+        a = Section(0, 8, 4)
+        b = Section(2, 10, 4)
+        hull = a.hull(b)
+        assert hull.lower == 0 and hull.upper == 10
+        assert hull.stride == 2  # gcd(4, 4, |0-2|)
+
+    def test_rsd_count(self):
+        rsd = RSD((Section(0, 9, 1), Section(0, 4, 2)))
+        assert rsd.count() == 30
+
+
+class TestSectionOfAccess:
+    def test_strided_access(self):
+        src = """
+array A[300]
+for i = 0 to 9 do
+  A[0] = A[3 * i + 5]
+"""
+        prog = parse(src)
+        stmt = prog.statements()[0]
+        rsd = section_of_access(stmt.reads[0], stmt.domain(), {})
+        assert rsd.sections[0] == Section(5, 32, 3)
+        assert rsd.count() == 10
+
+    def test_sparse_2d_projection_inflates(self):
+        """Section 2.2.3: A[1000i + j] summarized as a dense section."""
+        src = """
+array A[110000]
+for i = 1 to 100 do
+  for j = i to 100 do
+    A[0] = A[1000 * i + j]
+"""
+        prog = parse(src)
+        stmt = prog.statements()[0]
+        domain = stmt.domain()
+        rsd = section_of_access(stmt.reads[0], domain, {})
+        exact = exact_touched_count(stmt.reads[0], domain, {})
+        inflation = rsd.count() / exact
+        # the paper reports a factor of about 20
+        assert 15 < inflation < 25
+
+
+class TestLocationCentric:
+    PIPE = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+
+    def test_pipe_traffic(self):
+        prog = parse(self.PIPE)
+        data = {
+            "X": block(prog.arrays["X"], [8]),
+            "Y": block(prog.arrays["Y"], [8]),
+        }
+        report = analyze_program(prog, data, {"N": 31, "P": 4})
+        # the baseline moves exactly the boundary words here (dependence
+        # level 0 -> one interval, dense sections of single elements)
+        words = report.total_words
+        assert words == 3
+        assert report.total_messages == 3
+
+    WORK = """
+array work[17]
+array A[6][17]
+assume M >= 1
+for i = 0 to 5 do
+  for j1 = 0 to 16 do
+    w: work[j1] = A[i][j1] * 2
+  for j2 = 0 to 16 do
+    r: A[i][j2] = work[j2] + 1
+"""
+
+    def test_work_array_resends_every_iteration(self):
+        """Section 2.2.2: the location-centric compiler transfers the
+        work array once per outer iteration (level-1 dependence), while
+        value-centric analysis moves nothing."""
+        prog = parse(self.WORK)
+        data = {
+            "work": block(prog.arrays["work"], [4]),
+            "A": block(prog.arrays["A"], [2], dims=[0]),
+        }
+        report = analyze_program(prog, data, {"M": 5, "P": 3})
+        work_reads = [r for r in report.reads if "work" in r.access]
+        assert work_reads[0].comm_level == 1
+        assert work_reads[0].words > 0
+
+    def test_exact_vs_rsd_words(self):
+        prog = parse(self.PIPE)
+        data = {
+            "X": block(prog.arrays["X"], [8]),
+            "Y": block(prog.arrays["Y"], [8]),
+        }
+        report = analyze_program(prog, data, {"N": 31, "P": 4})
+        assert report.exact_nonlocal_words <= report.total_words

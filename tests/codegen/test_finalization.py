@@ -1,0 +1,128 @@
+"""End-to-end finalization tests (Section 4.4.3): live-out values land
+on their final-layout owners."""
+
+import pytest
+
+from repro.codegen import generate_spmd
+from repro.decomp import block, block_loop, cyclic, onto, replicated
+from repro.lang import parse
+from repro.polyhedra import var
+from repro.runtime import check_against_sequential, run_spmd
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+LU = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+
+class TestFig2Finalization:
+    def make(self, final_block):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        arr = prog.arrays["X"]
+        d_init = block(arr, [32])
+        d_final = block(arr, [final_block])
+        spmd = generate_spmd(
+            prog,
+            {stmt.name: comp},
+            initial_data={"X": d_init},
+            final_data={"X": d_final},
+        )
+        return spmd, {stmt.name: comp}, d_init, d_final
+
+    def test_relayout_to_smaller_blocks(self):
+        spmd, comps, d_init, d_final = self.make(8)
+        res = check_against_sequential(
+            spmd, comps, {"N": 70, "T": 1, "P": 3},
+            initial_data={"X": d_init}, final_data={"X": d_final},
+        )
+        assert res.total_words > 0
+
+    def test_same_layout_no_finalization_traffic(self):
+        """Final layout == computation layout: only boundary traffic."""
+        spmd, comps, d_init, d_final = self.make(32)
+        res = run_spmd(
+            spmd, {"N": 70, "T": 1, "P": 3}, initial_data={"X": d_init}
+        )
+        # identical to the run without finalization: 2 boundaries x 2 t
+        assert res.total_messages == 4
+
+    def test_never_written_elements_forwarded(self):
+        """X[0..2] is never written; with a reversed final layout its
+        home moves from processor 0 to the top processor, so the
+        bottom-leaf finalization must forward it."""
+        import numpy as np
+
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        arr = prog.arrays["X"]
+        d_init = block(arr, [32])
+        d_final = block(arr, [32], reverse=[True])
+        spmd = generate_spmd(
+            prog, {stmt.name: comp},
+            initial_data={"X": d_init}, final_data={"X": d_final},
+        )
+        assert "fin0" in spmd.c_text  # bottom-leaf finalization present
+        params = {"N": 70, "T": 1, "P": 3}
+        res = check_against_sequential(
+            spmd, {stmt.name: comp}, params,
+            initial_data={"X": d_init}, final_data={"X": d_final},
+        )
+        # the never-written X[0] must have reached its reversed home
+        from repro.ir import allocate_arrays
+
+        golden = allocate_arrays(prog, params, seed=0)["X"][0]
+        (owner,) = d_final.owners((0,), params)
+        phys = d_final.space.to_physical(tuple(owner), params)
+        assert np.isclose(
+            res.arrays[tuple(phys)]["X"][0], golden
+        )
+
+
+class TestLUFinalization:
+    def test_cyclic_final_layout(self):
+        prog = parse(LU)
+        s1 = prog.statement("s1")
+        s2 = prog.statement("s2")
+        comps = {"s1": onto(s1, [var("i2")])}
+        comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
+        d_final = cyclic(prog.arrays["X"], dims=[0])
+        spmd = generate_spmd(prog, comps, final_data={"X": d_final})
+        res = check_against_sequential(
+            spmd, comps, {"N": 7, "P": 3}, final_data={"X": d_final}
+        )
+        # row k is written by virtual processor k under the computation
+        # decomposition, which is also its cyclic home: the only
+        # finalization traffic is row 0 (never written) staying put and
+        # elements whose last writer is s1 vs s2 -- all same processor.
+        # => write-back only needs to move what the layouts disagree on.
+        assert res.total_words >= 0  # validated above; counts recorded
+
+    def test_block_final_layout_moves_rows(self):
+        prog = parse(LU)
+        s1 = prog.statement("s1")
+        s2 = prog.statement("s2")
+        comps = {"s1": onto(s1, [var("i2")])}
+        comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
+        d_final = block(prog.arrays["X"], [4], dims=[0])
+        spmd = generate_spmd(prog, comps, final_data={"X": d_final})
+        res = check_against_sequential(
+            spmd, comps, {"N": 7, "P": 2}, final_data={"X": d_final}
+        )
+        assert res.total_words > 0

@@ -1,0 +1,100 @@
+"""Unit tests for scan-to-CAST conversion (guards, boundaries, emission)."""
+
+import pytest
+
+from repro.codegen import CBlock, CGuard, CVirtLoop, compile_node_program
+from repro.codegen.cast import CAssign, CFor, emit_c
+from repro.codegen.genloops import (
+    prefix_guards,
+    scan_to_cast,
+    scan_to_cast_with_boundary,
+)
+from repro.polyhedra import System, scan, var
+
+
+def box_scan(order=("i", "j")):
+    sys_ = System(
+        inequalities=[
+            var("i"),
+            var("N") - var("i"),
+            var("j") - var("i"),
+            var("N") - var("j"),
+        ]
+    )
+    return scan(sys_, list(order))
+
+
+class TestScanToCast:
+    def test_plain_loops(self):
+        from repro.polyhedra import Lin
+
+        tree = scan_to_cast(box_scan(), CAssign("x", Lin(var("i"))))
+        text = emit_c(tree)
+        assert "for i = 0 to N do" in text
+        assert "for j = i to N do" in text
+
+    def test_skip_becomes_guard(self):
+        result = box_scan()
+        from repro.polyhedra import Lin
+
+        tree = scan_to_cast(result, CAssign("x", Lin(var("j"))), skip=1)
+        assert isinstance(tree, CGuard)
+        text = emit_c(tree)
+        # the skipped i level appears as a membership condition
+        assert "i >= 0" in text and "i <= N" in text
+        assert "for j = i to N do" in text
+
+    def test_virt_dims(self):
+        from repro.polyhedra import Lin
+
+        sys_ = System(inequalities=[var("p"), 7 - var("p")])
+        result = scan(sys_, ["p"])
+        tree = scan_to_cast(
+            result, CAssign("x", Lin(var("p"))), virt_dims={"p": (0, 1)}
+        )
+        found = [n for n in tree.children if isinstance(n, CVirtLoop)]
+        assert found and found[0].rank == 1
+
+    def test_boundary_split(self):
+        from repro.polyhedra import Lin
+
+        result = box_scan()
+        seen = []
+
+        def at_boundary(build_content):
+            seen.append(True)
+            return [
+                CAssign("marker", Lin(var("i"))),
+                build_content(CAssign("x", Lin(var("j")))),
+            ]
+
+        tree = scan_to_cast_with_boundary(
+            result, skip=0, boundary=1, at_boundary=at_boundary
+        )
+        assert seen
+        text = emit_c(tree)
+        # marker sits between the i loop and the j loop
+        assert text.index("for i") < text.index("marker") < text.index(
+            "for j"
+        )
+
+    def test_guards_render_in_python(self):
+        from repro.polyhedra import Lin
+
+        result = box_scan()
+        tree = scan_to_cast(result, CAssign("x", Lin(var("j"))), skip=2)
+        node = compile_node_program(CBlock([tree]), 1, ["N", "i", "j"])
+        assert "if" in node.__source__
+
+
+class TestPrefixGuards:
+    def test_degenerate_prefix_guard(self):
+        sys_ = System(
+            equalities=[var("j") - var("i") + 1],
+            inequalities=[var("i"), 9 - var("i")],
+        )
+        result = scan(sys_, ["i", "j"])
+        conds = prefix_guards(result.loops[:2])
+        # the degenerate j level guards j == i - 1
+        text_parts = [str(c) for c in conds]
+        assert any("j" in t for t in text_parts)

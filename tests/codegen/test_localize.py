@@ -1,0 +1,94 @@
+"""Local memory management tests (Section 5.5)."""
+
+from repro.codegen.localize import bounding_box, memory_report
+from repro.decomp import block_loop, onto
+from repro.lang import parse
+from repro.polyhedra import var
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+LU = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+
+class TestBoundingBox:
+    def test_fig2_block_box(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        box = bounding_box(prog, {stmt.name: comp}, prog.arrays["X"])
+        # processor p touches X[32p - 3 .. 32p + 31]
+        env = {"p0": 1, "N": 200, "T": 1}
+        assert box.dims[0].lower.evaluate(env) == 29
+        assert box.dims[0].upper.evaluate(env) == 63
+        assert box.shape(env) == (35,)
+
+    def test_translate(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        box = bounding_box(prog, {stmt.name: comp}, prog.arrays["X"])
+        env = {"p0": 2, "N": 200, "T": 1}
+        # global X[61] lands at local offset 0 on processor 2
+        assert box.translate((61,), env) == (0,)
+
+    def test_lu_row_box(self):
+        """Each virtual processor writes one row but reads the matrix up
+        to its own row -- the box reflects that (Section 7's local array
+        discussion)."""
+        prog = parse(LU)
+        s1 = prog.statement("s1")
+        s2 = prog.statement("s2")
+        comps = {"s1": onto(s1, [var("i2")])}
+        comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
+        box = bounding_box(prog, comps, prog.arrays["X"])
+        env = {"p0": 4, "N": 8}
+        low0 = box.dims[0].lower.evaluate(env)
+        high0 = box.dims[0].upper.evaluate(env)
+        assert low0 == 0 and high0 == 4  # rows 0..p (pivot rows + own)
+
+    def test_untouched_array_none(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        from repro.ir import Array
+
+        ghost = Array("ghost", (var("N"),))
+        assert bounding_box(prog, {stmt.name: comp}, ghost) is None
+
+
+class TestMemoryReport:
+    def test_savings(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        report = memory_report(
+            prog, {stmt.name: comp}, {"N": 255, "T": 1, "P": 4}
+        )
+        assert report.global_total() == 256
+        # each of the 8 virtual processors holds at most 35 words
+        assert report.max_local_total() <= 35
+        assert report.savings_factor() > 7
+
+    def test_report_covers_all_processors(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        report = memory_report(
+            prog, {stmt.name: comp}, {"N": 255, "T": 1, "P": 4}
+        )
+        assert len(report.local_sizes) == 8

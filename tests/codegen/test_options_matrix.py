@@ -1,0 +1,92 @@
+"""Every optimization-switch combination must stay correct.
+
+The switches only change *how* data moves (messages, batching,
+placement), never *what* arrives; this matrix pins that invariant on
+both paper workloads.
+"""
+
+import itertools
+
+import pytest
+
+from repro.codegen import SPMDOptions, generate_spmd
+from repro.decomp import block_loop, onto
+from repro.lang import parse
+from repro.polyhedra import var
+from repro.runtime import check_against_sequential
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+LU = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+SWITCHES = list(
+    itertools.product([True, False], repeat=3)
+)  # aggregate, multicast, early_placement
+
+
+class TestFig2Matrix:
+    @pytest.mark.parametrize("aggregate,multicast,early", SWITCHES)
+    def test_all_combinations_validate(self, aggregate, multicast, early):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        opts = SPMDOptions(
+            aggregate=aggregate,
+            multicast=multicast,
+            early_placement=early,
+        )
+        spmd = generate_spmd(prog, {stmt.name: comp}, options=opts)
+        check_against_sequential(
+            spmd, {stmt.name: comp}, {"N": 70, "T": 1, "P": 3}
+        )
+
+
+class TestLUMatrix:
+    @pytest.mark.parametrize(
+        "aggregate,multicast,early",
+        [
+            (True, True, True),
+            (True, True, False),
+            (True, False, True),
+            (False, False, True),
+            (False, True, True),
+        ],
+    )
+    def test_combinations_validate(self, aggregate, multicast, early):
+        prog = parse(LU)
+        s1 = prog.statement("s1")
+        s2 = prog.statement("s2")
+        comps = {"s1": onto(s1, [var("i2")])}
+        comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
+        opts = SPMDOptions(
+            aggregate=aggregate,
+            multicast=multicast,
+            early_placement=early,
+        )
+        spmd = generate_spmd(prog, comps, options=opts)
+        check_against_sequential(spmd, comps, {"N": 7, "P": 3})
+
+    def test_self_reuse_off_validates(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        opts = SPMDOptions(self_reuse=False)
+        spmd = generate_spmd(prog, {stmt.name: comp}, options=opts)
+        check_against_sequential(
+            spmd, {stmt.name: comp}, {"N": 70, "T": 1, "P": 3}
+        )

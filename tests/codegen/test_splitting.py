@@ -1,0 +1,116 @@
+"""Loop splitting tests: the paper's Section 5.4 merge example."""
+
+import pytest
+
+from repro.codegen.splitting import (
+    RangeFragment,
+    UnknownOrderError,
+    split_ranges,
+)
+from repro.polyhedra import LinExpr, System, var
+
+
+class TestPaperExample:
+    """for i = 0..200 receive;  for i = 100..300 send."""
+
+    def test_three_way_split(self):
+        frags = [
+            RangeFragment(0, 200, "receive"),
+            RangeFragment(100, 300, "send"),
+        ]
+        loops = split_ranges(frags)
+        shape = [
+            (str(l.lower), str(l.upper), l.payloads) for l in loops
+        ]
+        assert shape == [
+            ("0", "99", ("receive",)),
+            ("100", "200", ("receive", "send")),
+            ("201", "300", ("send",)),
+        ]
+
+    def test_every_index_covered_once(self):
+        frags = [
+            RangeFragment(0, 200, "receive"),
+            RangeFragment(100, 300, "send"),
+        ]
+        loops = split_ranges(frags)
+        recv = [
+            i
+            for l in loops
+            if "receive" in l.payloads
+            for i in range(l.lower.evaluate({}), l.upper.evaluate({}) + 1)
+        ]
+        send = [
+            i
+            for l in loops
+            if "send" in l.payloads
+            for i in range(l.lower.evaluate({}), l.upper.evaluate({}) + 1)
+        ]
+        assert recv == list(range(0, 201))
+        assert send == list(range(100, 301))
+
+
+class TestSymbolicBounds:
+    def test_ordered_by_context(self):
+        """Bounds with parameters split when the context orders them."""
+        context = System(inequalities=[var("N") - 200])
+        frags = [
+            RangeFragment(LinExpr.const_expr(0), var("N") - 100, "a"),
+            RangeFragment(LinExpr.const_expr(50), var("N"), "b"),
+        ]
+        loops = split_ranges(frags, context)
+        assert [l.payloads for l in loops] == [
+            ("a",), ("a", "b"), ("b",),
+        ]
+        # spot check at N = 250
+        env = {"N": 250}
+        bounds = [
+            (l.lower.evaluate(env), l.upper.evaluate(env)) for l in loops
+        ]
+        assert bounds == [(0, 49), (50, 150), (151, 250)]
+
+    def test_unknown_order_raises(self):
+        """N vs M cannot be ordered without context: keep guards."""
+        frags = [
+            RangeFragment(LinExpr.const_expr(0), var("N"), "a"),
+            RangeFragment(LinExpr.const_expr(0), var("M"), "b"),
+        ]
+        with pytest.raises(UnknownOrderError):
+            split_ranges(frags)
+
+    def test_identical_ranges_merge(self):
+        frags = [
+            RangeFragment(0, 10, "a"),
+            RangeFragment(0, 10, "b"),
+        ]
+        loops = split_ranges(frags)
+        assert len(loops) == 1
+        assert loops[0].payloads == ("a", "b")
+
+    def test_disjoint_ranges(self):
+        frags = [
+            RangeFragment(0, 9, "a"),
+            RangeFragment(20, 29, "b"),
+        ]
+        loops = split_ranges(frags)
+        assert [l.payloads for l in loops] == [("a",), ("b",)]
+        # the gap 10..19 produces no loop
+        assert (loops[0].upper.evaluate({}), loops[1].lower.evaluate({})) == (
+            9,
+            20,
+        )
+
+    def test_nested_containment(self):
+        frags = [
+            RangeFragment(0, 100, "outer"),
+            RangeFragment(40, 60, "inner"),
+        ]
+        loops = split_ranges(frags)
+        assert [l.payloads for l in loops] == [
+            ("outer",),
+            ("outer", "inner"),
+            ("outer",),
+        ]
+
+    def test_empty_input(self):
+        assert split_ranges([]) == []

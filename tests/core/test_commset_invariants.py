@@ -1,0 +1,100 @@
+"""Cross-cutting communication-set invariants.
+
+Checks properties that must hold for every set the compiler builds:
+senders differ from receivers, analytic transfer counts equal the words
+the executed program actually moves, and minimization never changes the
+set of value-copies delivered.
+"""
+
+import pytest
+
+from repro.codegen import generate_spmd
+from repro.core import communication_report, enumerate_commset
+from repro.decomp import block_loop, onto
+from repro.lang import parse
+from repro.polyhedra import var
+from repro.runtime import run_spmd
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+LU = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+
+def fig2():
+    prog = parse(FIG2)
+    stmt = prog.statements()[0]
+    comp = block_loop(stmt, ["i"], [32])
+    return prog, {stmt.name: comp}, generate_spmd(prog, {stmt.name: comp})
+
+
+def lu():
+    prog = parse(LU)
+    comps = {"s1": onto(prog.statement("s1"), [var("i2")])}
+    comps["s2"] = onto(
+        prog.statement("s2"), [var("i2")], space=comps["s1"].space
+    )
+    return prog, comps, generate_spmd(prog, comps)
+
+
+class TestSetInvariants:
+    @pytest.mark.parametrize("builder", [fig2, lu])
+    def test_sender_differs_from_receiver(self, builder):
+        _prog, _comps, spmd = builder()
+        params = {"N": 20, "T": 1} if "T" in spmd.program.params else {
+            "N": 6
+        }
+        for cs in spmd.commsets:
+            for el in enumerate_commset(cs, params):
+                ps = tuple(el[v] for v in cs.send_proc_vars)
+                pr = tuple(el[v] for v in cs.recv_proc_vars)
+                assert ps != pr, cs.label
+
+    @pytest.mark.parametrize("builder", [fig2, lu])
+    def test_every_element_satisfies_the_system(self, builder):
+        _prog, _comps, spmd = builder()
+        params = {"N": 20, "T": 1} if "T" in spmd.program.params else {
+            "N": 6
+        }
+        for cs in spmd.commsets:
+            for el in enumerate_commset(cs, params)[:50]:
+                assert cs.system.satisfies({**el, **params})
+
+
+class TestAnalyticVsExecuted:
+    def test_fig2_words_match(self):
+        """enumerate_commset totals == words the simulator moves,
+        on every physical machine size (virtual analysis is size-free)."""
+        _prog, _comps, spmd = fig2()
+        analysis = communication_report(spmd, {"N": 70, "T": 2})
+        for p in (2, 3, 5):
+            res = run_spmd(spmd, {"N": 70, "T": 2, "P": p})
+            # executed words can only be <= analytic transfers: virtual
+            # pairs folded onto one physical processor move nothing
+            assert res.total_words <= analysis.transfers
+        # with enough processors (no folding) they coincide
+        res = run_spmd(spmd, {"N": 70, "T": 2, "P": 3})
+        assert res.total_words == analysis.transfers
+
+    def test_lu_words_bounded_by_transfers(self):
+        _prog, _comps, spmd = lu()
+        analysis = communication_report(spmd, {"N": 8})
+        res = run_spmd(spmd, {"N": 8, "P": 9})
+        # no folding with P = N+1: every transfer crosses the network;
+        # multicast may *duplicate* words (same payload to several
+        # receivers counts per receiver), never lose them
+        assert res.total_words >= analysis.transfers

@@ -1,0 +1,98 @@
+"""Compiler driver tests: owner-computes mode, reports, end-to-end."""
+
+import pytest
+
+from repro.core import (
+    communication_report,
+    compile_distributed,
+    compile_owner_computes,
+)
+from repro.decomp import block, block_loop
+from repro.lang import parse
+from repro.runtime import check_against_sequential
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+PIPE = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+
+
+class TestOwnerComputes:
+    def test_hpf_style_input(self):
+        """User supplies data decompositions only (HPF-style); the
+        compiler derives computation decompositions via Theorem 1 and
+        still applies the full value-centric pipeline."""
+        prog = parse(FIG2)
+        data = {"X": block(prog.arrays["X"], [32])}
+        result = compile_owner_computes(prog, data)
+        stmt = prog.statements()[0]
+        comps = {stmt.name: result.spmd.commsets[0].space and None}
+        # rebuild comps the way the driver did, for validation
+        from repro.decomp import owner_computes
+
+        comps = {stmt.name: owner_computes(stmt, data["X"])}
+        res = check_against_sequential(
+            result.spmd, comps, {"N": 70, "T": 1, "P": 3},
+            initial_data=data,
+        )
+        assert res.total_words > 0
+
+    def test_missing_decomposition_rejected(self):
+        prog = parse(PIPE)
+        with pytest.raises(ValueError):
+            compile_owner_computes(
+                prog, {"X": block(prog.arrays["X"], [8])}
+            )
+
+    def test_owner_computes_equals_explicit(self):
+        """Theorem-1-derived decomposition == the equivalent explicit
+        one: identical communication counts."""
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        data = {"X": block(prog.arrays["X"], [32])}
+        via_data = compile_owner_computes(prog, data)
+        comp = block_loop(stmt, ["i"], [32])
+        explicit = compile_distributed(
+            prog, {stmt.name: comp}, initial_data=data
+        )
+        params = {"N": 70, "T": 1}
+        a = communication_report(via_data.spmd, params)
+        b = communication_report(explicit.spmd, params)
+        assert a.transfers == b.transfers
+
+
+class TestReports:
+    def test_communication_report(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        result = compile_distributed(prog, {stmt.name: comp})
+        report = communication_report(result.spmd, {"N": 70, "T": 1})
+        # 2 boundaries x 2 time steps x 3 words
+        assert report.transfers == 12
+        # aggregated: one message per (sender, t) pair
+        assert report.messages == 4
+        assert report.per_set  # labeled breakdown available
+
+    def test_compile_seconds_recorded(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        result = compile_distributed(prog, {stmt.name: comp})
+        assert result.compile_seconds > 0
+        assert "for" in result.c_text
+        assert callable(result.node)

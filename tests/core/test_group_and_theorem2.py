@@ -1,0 +1,173 @@
+"""Group reuse API tests (Section 6.1.2) and Theorem 2 sets."""
+
+import pytest
+
+from repro.core import (
+    enumerate_commset,
+    family_commsets,
+    from_leaf,
+    eliminate_self_reuse,
+    hull_tree,
+    location_centric_comm,
+    uniform_families,
+)
+from repro.dataflow import last_write_tree
+from repro.decomp import block, block_loop
+from repro.lang import parse
+
+FIG8 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = f(X[i], X[i - 1], X[i - 2], X[i - 3])
+"""
+
+
+class TestUniformFamilies:
+    def test_fig8_single_family(self):
+        prog = parse(FIG8)
+        stmt = prog.statements()[0]
+        families = uniform_families(stmt)
+        assert len(families) == 1
+        fam = families[0]
+        assert fam.members == (0, 1, 2, 3)
+        assert len(fam.offset_vars) == 1
+        # hull covers offsets -3..0 (or 0..3 depending on orientation)
+        sample = {fam.offset_vars[0]: -2}
+        assert fam.offset_domain.satisfies(sample)
+
+    def test_non_uniform_reads_split(self):
+        src = """
+array C[20]
+array D[20]
+for i = 0 to 9 do
+  D[i] = C[i] + C[i + 1] + C[2 * i]
+"""
+        prog = parse(src)
+        stmt = prog.statements()[0]
+        families = uniform_families(stmt)
+        # C[i], C[i+1] pair up; C[2i] is its own family
+        sizes = sorted(len(f.members) for f in families)
+        assert sizes == [1, 2]
+
+    def test_multidim_offsets(self):
+        src = """
+array B[20][20]
+array E[20][20]
+for i = 0 to 9 do
+  for j = 0 to 9 do
+    E[i][j] = B[i][j] + B[i + 1][j + 2]
+"""
+        prog = parse(src)
+        stmt = prog.statements()[0]
+        (fam,) = [
+            f for f in uniform_families(stmt) if f.array.name == "B"
+        ]
+        assert len(fam.offset_vars) == 2
+
+    def test_hull_tree_covers_members(self):
+        prog = parse(FIG8)
+        stmt = prog.statements()[0]
+        (fam,) = uniform_families(stmt)
+        tree = hull_tree(prog, fam)
+        assert tree.leaves
+
+    def test_family_commsets_minimized(self):
+        prog = parse(FIG8)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        (fam,) = uniform_families(stmt)
+        sets = family_commsets(
+            prog, fam, comp, {stmt.name: comp}, minimize=True
+        )
+        params = {"N": 70, "T": 1}
+        family_words = sum(
+            len(enumerate_commset(cs, params)) for cs in sets
+        )
+        # per-access counterpart moves duplicates; the family does not
+        per_access = 0
+        for access in stmt.reads:
+            tree = last_write_tree(prog, stmt, access)
+            for leaf in tree.writer_leaves():
+                for cs in from_leaf(
+                    leaf, access, comp, comp,
+                    assumptions=prog.assumptions,
+                ):
+                    for mini in eliminate_self_reuse(cs):
+                        per_access += len(enumerate_commset(mini, params))
+        assert family_words < per_access
+
+
+class TestTheorem2:
+    def test_location_centric_fetches_unchanged_values(self):
+        """Theorem 2 moves data the value-centric sets know are local
+        history: the location-centric count strictly dominates."""
+        src = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+        prog = parse(src)
+        s2 = prog.statement("s2")
+        comps = {
+            "s1": block_loop(prog.statement("s1"), ["i"], [8]),
+        }
+        comps["s2"] = block_loop(s2, ["j"], [8], space=comps["s1"].space)
+        data = block(prog.arrays["X"], [8])
+        params = {"N": 31}
+        loc_sets = location_centric_comm(
+            s2.reads[1], comps["s2"], data, assumptions=prog.assumptions
+        )
+        loc = sum(len(enumerate_commset(cs, params)) for cs in loc_sets)
+        tree = last_write_tree(prog, s2, s2.reads[1])
+        val = 0
+        for leaf in tree.writer_leaves():
+            for cs in from_leaf(
+                leaf, s2.reads[1], comps["s2"], comps["s1"],
+                assumptions=prog.assumptions,
+            ):
+                val += len(enumerate_commset(cs, params))
+        assert val == 3      # one word per boundary
+        assert loc == val    # here D matches C, so they coincide...
+
+    def test_location_centric_overcounts_on_mismatched_layout(self):
+        """With a data layout misaligned to the computation, Theorem 2
+        fetches every remote element per read while Theorem 3 only
+        moves values that actually flow between processors."""
+        src = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+        prog = parse(src)
+        s2 = prog.statement("s2")
+        comps = {
+            "s1": block_loop(prog.statement("s1"), ["i"], [8]),
+        }
+        comps["s2"] = block_loop(s2, ["j"], [8], space=comps["s1"].space)
+        # data layout shifted against the computation layout
+        data = block(prog.arrays["X"], [8], shift=[4])
+        params = {"N": 31}
+        loc_sets = location_centric_comm(
+            s2.reads[1], comps["s2"], data, assumptions=prog.assumptions
+        )
+        loc = sum(len(enumerate_commset(cs, params)) for cs in loc_sets)
+        tree = last_write_tree(prog, s2, s2.reads[1])
+        val = 0
+        for leaf in tree.writer_leaves():
+            for cs in from_leaf(
+                leaf, s2.reads[1], comps["s2"], comps["s1"],
+                assumptions=prog.assumptions,
+            ):
+                val += len(enumerate_commset(cs, params))
+        assert loc > val

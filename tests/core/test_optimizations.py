@@ -1,0 +1,213 @@
+"""Redundancy elimination and aggregation planning tests (Section 6)."""
+
+import pytest
+
+from repro.core import (
+    build_plan,
+    canonicalize_senders,
+    eliminate_self_reuse,
+    enumerate_commset,
+    from_leaf,
+    initial_comm,
+)
+from repro.dataflow import last_write_tree
+from repro.decomp import block, block_loop, onto, replicated
+from repro.lang import parse
+from repro.polyhedra import var
+
+BROADCAST = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[0]
+"""
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+
+def broadcast_sets():
+    prog = parse(BROADCAST)
+    s1 = prog.statement("s1")
+    s2 = prog.statement("s2")
+    comp1 = block_loop(s1, ["i"], [8])
+    comp2 = block_loop(s2, ["j"], [8])
+    tree = last_write_tree(prog, s2, s2.reads[1])
+    (leaf,) = tree.writer_leaves()
+    sets = from_leaf(
+        leaf, s2.reads[1], comp2, comp1, assumptions=prog.assumptions
+    )
+    return prog, sets
+
+
+class TestSelfReuse:
+    def test_raw_set_has_duplicates(self):
+        _prog, sets = broadcast_sets()
+        params = {"N": 31}
+        elements = [
+            el for cs in sets for el in enumerate_commset(cs, params)
+        ]
+        # every j on processors 1..3 reads X[0]: 24 raw transfers
+        assert len(elements) == 24
+
+    def test_minimized_set_one_per_processor(self):
+        _prog, sets = broadcast_sets()
+        params = {"N": 31}
+        reduced = [
+            mini for cs in sets for mini in eliminate_self_reuse(cs)
+        ]
+        elements = [
+            el for cs in reduced for el in enumerate_commset(cs, params)
+        ]
+        # one transfer per remote processor (p_r = 1..3)
+        assert len(elements) == 3
+        assert sorted(el["p0$r"] for el in elements) == [1, 2, 3]
+        # the reader iteration pinned to the first on each processor
+        assert sorted(el["j"] for el in elements) == [8, 16, 24]
+
+    def test_minimized_preserves_value_coverage(self):
+        """Every (p_s, i_s, p_r, a) of the raw set survives minimization."""
+        _prog, sets = broadcast_sets()
+        params = {"N": 31}
+
+        def value_copies(css):
+            out = set()
+            for cs in css:
+                for el in enumerate_commset(cs, params):
+                    out.add(
+                        (el["p0$s"], el.get("i$s"), el["p0$r"], el["a0"])
+                    )
+            return out
+
+        reduced = [m for cs in sets for m in eliminate_self_reuse(cs)]
+        assert value_copies(sets) == value_copies(reduced)
+
+    def test_already_minimal_unchanged(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        tree = last_write_tree(prog, stmt, stmt.reads[0])
+        (leaf,) = tree.writer_leaves()
+        (cs,) = from_leaf(
+            leaf, stmt.reads[0], comp, comp, assumptions=prog.assumptions
+        )
+        params = {"N": 70, "T": 1}
+        before = len(enumerate_commset(cs, params))
+        reduced = eliminate_self_reuse(cs)
+        after = sum(
+            len(enumerate_commset(m, params)) for m in reduced
+        )
+        assert before == after  # each value already transferred once
+
+
+class TestSenderCanonicalization:
+    def test_replicated_senders_reduced(self):
+        prog = parse(BROADCAST)
+        s2 = prog.statement("s2")
+        comp2 = block_loop(s2, ["j"], [8])
+        tree = last_write_tree(prog, s2, s2.reads[0])  # Y[j]: bottom
+        bottom = tree.bottom_leaves()[0]
+        arr = prog.arrays["Y"]
+        d_init = block(arr, [8], overlap=[(2, 2)])  # overlapping owners
+        sets = initial_comm(
+            bottom, s2.reads[0], comp2, d_init,
+            assumptions=prog.assumptions, skip_if_reader_owns=False,
+        )
+        params = {"N": 31}
+        raw = [el for cs in sets for el in enumerate_commset(cs, params)]
+        canon = [
+            el
+            for cs in sets
+            for mini in canonicalize_senders(cs)
+            for el in enumerate_commset(mini, params)
+        ]
+        keys_raw = {(el["j"], el["p0$r"], el["a0"]) for el in raw}
+        keys_canon = [(el["j"], el["p0$r"], el["a0"]) for el in canon]
+        # same (reader, element) coverage, but exactly one sender each
+        assert set(keys_canon) == keys_raw
+        assert len(keys_canon) == len(canon)
+
+
+class TestAggregationPlans:
+    def test_fig10_level_plan(self):
+        """Figure 10: aggregation of M2 at level 1 batches per-t messages."""
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        tree = last_write_tree(prog, stmt, stmt.reads[0])
+        (leaf,) = tree.writer_leaves()
+        (cs,) = from_leaf(
+            leaf, stmt.reads[0], comp, comp, assumptions=prog.assumptions
+        )
+        assert cs.level == 2
+        plan = build_plan(cs, aggregate=True)
+        assert plan.agg_level == 2
+        # message identified by (p_s, t_s, p_r): one per t per neighbour
+        assert plan.send_order[: plan.send_msg_prefix] == (
+            "p0$s",
+            "t$s",
+            "p0$r",
+        )
+        # contents enumerate i_s then a
+        assert plan.content_vars[0] == "i$s"
+
+    def test_unaggregated_plan(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        tree = last_write_tree(prog, stmt, stmt.reads[0])
+        (leaf,) = tree.writer_leaves()
+        (cs,) = from_leaf(
+            leaf, stmt.reads[0], comp, comp, assumptions=prog.assumptions
+        )
+        plan = build_plan(cs, aggregate=False)
+        assert plan.agg_level == 0
+        assert plan.send_msg_prefix == len(plan.send_order)
+
+    def test_multicast_detected_for_lu_pivot(self):
+        """The LU pivot-row message content is receiver-independent."""
+        lu = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+        prog = parse(lu)
+        s2 = prog.statement("s2")
+        comp2 = onto(s2, [var("i2")])
+        tree = last_write_tree(prog, s2, s2.reads[2])
+        (leaf,) = tree.writer_leaves()
+        comp_w = onto(leaf.writer, [var("i2")])
+        sets = from_leaf(
+            leaf, s2.reads[2], comp2, comp_w, assumptions=prog.assumptions
+        )
+        reduced = [m for cs in sets for m in eliminate_self_reuse(cs)]
+        plans = [
+            build_plan(cs, context=prog.assumptions) for cs in reduced
+        ]
+        assert any(p.multicast for p in plans)
+
+    def test_no_multicast_for_neighbor_shift(self):
+        """Figure 2's boundary messages differ per receiver: no multicast."""
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        tree = last_write_tree(prog, stmt, stmt.reads[0])
+        (leaf,) = tree.writer_leaves()
+        (cs,) = from_leaf(
+            leaf, stmt.reads[0], comp, comp, assumptions=prog.assumptions
+        )
+        plan = build_plan(cs, context=prog.assumptions)
+        assert not plan.multicast

@@ -1,0 +1,130 @@
+"""Classic dependence analysis tests (the paper's Section 2 baseline)."""
+
+from repro.dataflow import (
+    LOOP_INDEPENDENT,
+    all_dependences,
+    dependences_between,
+    max_flow_dependence_level,
+    parallelizable_levels,
+)
+from repro.lang import parse
+
+FIG2 = """
+array X[N + 1]
+assume N >= 6
+assume T >= 1
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+WORK = """
+array work[101]
+array A[101][101]
+assume M >= 1
+for i = 0 to M do
+  for j1 = 0 to 100 do
+    w: work[j1] = A[i][j1]
+  for j2 = 0 to 100 do
+    r: A[i][j2] = work[j2] + 1
+"""
+
+PIPE = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+
+
+class TestDependenceVectors:
+    def test_fig2_flow_levels(self):
+        """Figure 2 carries flow dependences {[+,3],[0,3]}: levels 1 and 2."""
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        deps = dependences_between(stmt, stmt, prog.assumptions)
+        flow_levels = {d.level for d in deps if d.kind == "flow"}
+        assert flow_levels == {1, 2}
+
+    def test_fig2_output_dependence(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        deps = dependences_between(stmt, stmt, prog.assumptions)
+        # X[i] rewritten at every t: output dependence at level 1 only
+        out_levels = {d.level for d in deps if d.kind == "output"}
+        assert 1 in out_levels
+        assert 2 not in out_levels
+
+    def test_work_array_serializes_outer(self):
+        """Section 2.2.2: location-based analysis reports a level-1
+        dependence on work[], serializing the i loop -- even though the
+        dataflow is iteration-private."""
+        prog = parse(WORK)
+        w = prog.statement("w")
+        r = prog.statement("r")
+        deps = dependences_between(w, r, prog.assumptions)
+        flow = [d for d in deps if d.kind == "flow"]
+        assert any(d.level == 1 for d in flow)
+        assert 1 not in parallelizable_levels(prog)
+
+    def test_loop_independent_dependence(self):
+        prog = parse(WORK)
+        w = prog.statement("w")
+        r = prog.statement("r")
+        deps = dependences_between(w, r, prog.assumptions)
+        assert any(
+            d.level == LOOP_INDEPENDENT and d.kind == "flow" for d in deps
+        )
+
+    def test_no_dependence_between_disjoint_columns(self):
+        src = """
+array A[20][20]
+assume N >= 1
+for i = 0 to 9 do
+  a: A[i][0] = i
+  b: A[i][1] = i
+"""
+        prog = parse(src)
+        a = prog.statement("a")
+        b = prog.statement("b")
+        assert dependences_between(a, b, prog.assumptions) == []
+
+    def test_all_dependences_counts(self):
+        prog = parse(PIPE)
+        deps = all_dependences(prog)
+        kinds = {(d.source.name, d.sink.name, d.kind) for d in deps}
+        assert ("s1", "s2", "flow") in kinds
+        # Y[j] is read and written only by the same instance of s2, so
+        # there is no cross-instance dependence on Y at all.
+        assert ("s2", "s2", "flow") not in kinds
+
+
+class TestMaxFlowLevel:
+    def test_fig2_max_level(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        # deepest flow dependence level is 2: with dependence info alone
+        # the compiler must communicate once per i iteration
+        assert max_flow_dependence_level(prog, stmt, stmt.reads[0]) == 2
+
+    def test_pipe_max_level(self):
+        prog = parse(PIPE)
+        s2 = prog.statement("s2")
+        x_read = s2.reads[1]
+        assert str(x_read) == "X[j - 1]"
+        # X written in a preceding nest: no common loop, level 0
+        assert max_flow_dependence_level(prog, s2, x_read) == 0
+
+    def test_never_written(self):
+        src = """
+array A[10]
+array B[10]
+for i = 0 to 9 do
+  B[i] = A[i]
+"""
+        prog = parse(src)
+        stmt = prog.statements()[0]
+        assert max_flow_dependence_level(prog, stmt, stmt.reads[0]) == 0

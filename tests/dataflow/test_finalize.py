@@ -1,0 +1,90 @@
+"""Live-out analysis tests (Section 4.4.3), validated against the
+interpreter's observed final writers."""
+
+import pytest
+
+from repro.dataflow import final_write_tree
+from repro.ir import live_out_writes
+from repro.lang import parse
+
+LU = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+OVERWRITE = """
+array A[N + 1]
+assume N >= 2
+for i = 0 to N do
+  a: A[i] = i
+for j = 1 to N do
+  b: A[j - 1] = j
+"""
+
+
+def oracle_check(src, array_name, params):
+    program = parse(src)
+    array = program.arrays[array_name]
+    tree = final_write_tree(program, array)
+    writers = live_out_writes(program, params)
+    shape = array.shape(params)
+
+    def elements():
+        coords = [()]
+        for extent in shape:
+            coords = [c + (v,) for c in coords for v in range(extent)]
+        return coords
+
+    for element in elements():
+        env = dict(params)
+        env.update(
+            {f"a{k}": v for k, v in enumerate(element)}
+        )
+        leaf = tree.lookup(env)
+        assert leaf is not None, f"no leaf covers {element}"
+        observed = writers.get((array_name, element))
+        if observed is None:
+            assert leaf.is_bottom(), (
+                f"{element}: never written but got {leaf.describe()}"
+            )
+        else:
+            assert not leaf.is_bottom(), (
+                f"{element}: expected {observed}, got bottom"
+            )
+            assert leaf.writer.name == observed.stmt
+            assert leaf.writer_iteration(env) == observed.iteration
+    return tree
+
+
+class TestFinalWriteTree:
+    def test_lu_against_oracle(self):
+        tree = oracle_check(LU, "X", {"N": 4})
+        # below-diagonal live-outs come from s1, the rest from s2
+        writer_names = {leaf.writer.name for leaf in tree.writer_leaves()}
+        assert writer_names == {"s1", "s2"}
+
+    def test_overwrite_chain(self):
+        tree = oracle_check(OVERWRITE, "A", {"N": 5})
+        # A[0..N-1] finally written by b, A[N] by a
+        names = {leaf.writer.name for leaf in tree.writer_leaves()}
+        assert names == {"a", "b"}
+
+    def test_fig2_live_out(self):
+        src = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+        tree = oracle_check(src, "X", {"N": 9, "T": 2})
+        (leaf,) = tree.writer_leaves()
+        # live-out writer of X[a] is iteration (T, a)
+        assert str(leaf.mapping["t"]) == "T"
+        assert str(leaf.mapping["i"]) == "a0"

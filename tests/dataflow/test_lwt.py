@@ -1,0 +1,241 @@
+"""Last Write Tree tests: the paper's Figures 3, 9, 12, validated against
+the traced interpreter (exact observed dataflow) on small sizes."""
+
+import pytest
+
+from repro.dataflow import all_trees, last_write_tree
+from repro.ir import run_traced
+from repro.lang import parse
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+LU = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+WORK = """
+array work[101]
+array A[101][101]
+assume M >= 1
+for i = 0 to M do
+  for j1 = 0 to 100 do
+    w: work[j1] = A[i][j1]
+  for j2 = 0 to 100 do
+    r: A[i][j2] = work[j2] + 1
+"""
+
+
+def oracle_check(program, params, stmt_name, read_index):
+    """Compare LWT predictions against the traced interpreter."""
+    stmt = program.statement(stmt_name)
+    tree = last_write_tree(program, stmt, stmt.reads[read_index])
+    _arrays, trace = run_traced(program, params)
+    checked = 0
+    for read, writer in trace.last_writer.items():
+        if read.stmt != stmt_name or read.access_index != read_index:
+            continue
+        env = dict(params)
+        env.update(zip(stmt.iter_vars, read.iteration))
+        leaf = tree.lookup(env)
+        assert leaf is not None, f"no leaf covers read {read}"
+        if writer is None:
+            assert leaf.is_bottom(), (
+                f"{read}: expected bottom, got {leaf.describe()}"
+            )
+        else:
+            assert not leaf.is_bottom(), (
+                f"{read}: expected writer {writer}, got bottom"
+            )
+            assert leaf.writer.name == writer.stmt
+            assert leaf.writer_iteration(env) == writer.iteration, (
+                f"{read}: predicted {leaf.writer_iteration(env)}, "
+                f"observed {writer.iteration}"
+            )
+        checked += 1
+    assert checked > 0
+    return tree
+
+
+class TestFigure3:
+    """LWT of Figure 2's program must match Figure 3 exactly."""
+
+    def test_structure(self):
+        prog = parse(FIG2)
+        stmt = prog.statements()[0]
+        tree = last_write_tree(prog, stmt, stmt.reads[0])
+        writers = tree.writer_leaves()
+        bottoms = tree.bottom_leaves()
+        assert len(writers) == 1 and len(bottoms) == 1
+        m2 = writers[0]
+        # M2: t_w = t_r, i_w = i_r - 3, level 2
+        assert str(m2.mapping["t"]) == "t"
+        assert str(m2.mapping["i"]) == "i - 3"
+        assert m2.level == 2 and not m2.loop_independent
+        # M2 context requires i_r >= 6
+        assert m2.context.satisfies({"t": 0, "i": 6, "N": 9, "T": 1})
+        assert not m2.context.satisfies({"t": 0, "i": 5, "N": 9, "T": 1})
+        # M1 covers 3 <= i_r <= 5
+        m1 = bottoms[0]
+        assert m1.context.satisfies({"t": 1, "i": 4, "N": 9, "T": 1})
+
+    @pytest.mark.parametrize("params", [{"N": 9, "T": 2}, {"N": 5, "T": 0}])
+    def test_against_oracle(self, params):
+        oracle_check(parse(FIG2), params, "S1", 0)
+
+
+class TestFigure12LU:
+    def test_lu_read_x_i1_i3(self):
+        """Figure 12: read X[i1][i3] in s2.
+
+        Leaf conditions: i1 >= 1 -> value written by s2 (X[i2][i3]) in
+        the previous i1 iteration; i1 == 0 -> bottom.
+        """
+        prog = parse(LU)
+        s2 = prog.statement("s2")
+        # reads: X[i2][i3], X[i2][i1], X[i1][i3]
+        access = s2.reads[2]
+        assert str(access) == "X[i1][i3]"
+        tree = last_write_tree(prog, s2, access)
+        writers = tree.writer_leaves()
+        assert len(writers) == 1
+        leaf = writers[0]
+        assert leaf.writer.name == "s2"
+        assert str(leaf.mapping["i1"]) == "i1 - 1"
+        assert str(leaf.mapping["i2"]) == "i1"
+        assert str(leaf.mapping["i3"]) == "i3"
+        assert leaf.level == 1
+        bottoms = tree.bottom_leaves()
+        assert all(
+            not b.context.satisfies({"i1": 1, "i2": 2, "i3": 2, "N": 3})
+            for b in bottoms
+        )
+
+    def test_lu_read_x_i1_i1(self):
+        """Read X[i1][i1] in s1: produced by s2 in the previous i1 iteration
+        (X[i2][i3] with i2 = i3 = i1), except i1 == 0 (bottom)."""
+        prog = parse(LU)
+        s1 = prog.statement("s1")
+        access = s1.reads[1]
+        assert str(access) == "X[i1][i1]"
+        tree = last_write_tree(prog, s1, access)
+        writers = tree.writer_leaves()
+        assert len(writers) == 1
+        leaf = writers[0]
+        assert leaf.writer.name == "s2"
+        assert str(leaf.mapping["i1"]) == "i1 - 1"
+
+    @pytest.mark.parametrize("ridx", [0, 1, 2])
+    def test_s2_reads_against_oracle(self, ridx):
+        oracle_check(parse(LU), {"N": 4}, "s2", ridx)
+
+    @pytest.mark.parametrize("ridx", [0, 1])
+    def test_s1_reads_against_oracle(self, ridx):
+        oracle_check(parse(LU), {"N": 4}, "s1", ridx)
+
+
+class TestPrivatizableWork:
+    """Section 2.2.2's work-array example: dataflow stays within one
+    outer iteration, although location-based dependence is carried."""
+
+    def test_work_read_is_same_iteration(self):
+        prog = parse(WORK)
+        r = prog.statement("r")
+        tree = last_write_tree(prog, r, r.reads[0])
+        writers = tree.writer_leaves()
+        assert len(writers) == 1
+        leaf = writers[0]
+        assert leaf.writer.name == "w"
+        assert leaf.loop_independent
+        assert str(leaf.mapping["i"]) == "i"
+        assert str(leaf.mapping["j1"]) == "j2"
+        assert not tree.bottom_leaves() or all(
+            not b.context.satisfies({"i": 1, "j2": 5, "M": 2})
+            for b in tree.bottom_leaves()
+        )
+
+    def test_against_oracle(self):
+        oracle_check(parse(WORK), {"M": 2}, "r", 0)
+
+
+class TestMultiWriterSameLevel:
+    """Two writers racing at the same level, disambiguated by instance."""
+
+    SRC = """
+array A[N + 2]
+assume N >= 4
+for i = 0 to N do
+  a: A[i] = i
+  b: A[i + 1] = i
+for j = 0 to N do
+  r: A[j] = A[j] + 1
+"""
+
+    def test_against_oracle(self):
+        # A[j]: for 1 <= j <= N, both a@(j) and b@(j-1) wrote A[j];
+        # a@(j) executes later... b@(j-1) is at iteration j-1 < j, so
+        # a@(j) wins.  For j == 0 only a@(0). For j == N+1 unread.
+        prog = parse(self.SRC)
+        oracle_check(prog, {"N": 5}, "r", 0)
+
+    def test_textual_tie(self):
+        # Writers in the SAME iteration: later statement wins.
+        src = """
+array A[N + 1]
+assume N >= 2
+for i = 0 to N do
+  a: A[i] = i
+  b: A[i] = i + 1
+for j = 0 to N do
+  r: A[j] = A[j] * 2
+"""
+        prog = parse(src)
+        tree = oracle_check(prog, {"N": 4}, "r", 0)
+        writers = {leaf.writer.name for leaf in tree.writer_leaves()}
+        assert writers == {"b"}
+
+
+class TestSelfOverwrite:
+    """A location overwritten repeatedly: only the last write counts."""
+
+    SRC = """
+array A[N + 1]
+array B[N + 1]
+assume N >= 1
+for i = 0 to N do
+  w: A[0] = i
+for j = 0 to N do
+  r: B[j] = A[0]
+"""
+
+    def test_last_iteration_wins(self):
+        prog = parse(self.SRC)
+        r = prog.statement("r")
+        tree = last_write_tree(prog, r, r.reads[0])
+        writers = tree.writer_leaves()
+        assert len(writers) == 1
+        assert str(writers[0].mapping["i"]) == "N"
+
+    def test_against_oracle(self):
+        oracle_check(parse(self.SRC), {"N": 4}, "r", 0)
+
+
+class TestAllTrees:
+    def test_all_trees_lu(self):
+        prog = parse(LU)
+        trees = all_trees(prog)
+        assert len(trees) == 5  # two reads in s1, three in s2
+        for tree in trees.values():
+            assert tree.leaves

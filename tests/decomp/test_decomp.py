@@ -1,0 +1,206 @@
+"""Data/computation decomposition tests (Definitions 1-2, Theorem 1,
+Figure 4 shapes)."""
+
+import pytest
+
+from repro.decomp import (
+    ProcSpace,
+    block,
+    block_loop,
+    cyclic,
+    onto,
+    owner_computes,
+    replicated,
+    skewed,
+)
+from repro.ir import Array
+from repro.lang import parse
+from repro.polyhedra import LinExpr, sample_point, var
+
+N = var("N")
+
+
+def make_array(name="X", dims=(64,)):
+    return Array(name, tuple(LinExpr.coerce(d) for d in dims))
+
+
+class TestBlockDecomposition:
+    def test_block_owners(self):
+        arr = make_array(dims=(64,))
+        d = block(arr, [16])
+        assert d.owners((0,), {"P": 4}) == [(0,)]
+        assert d.owners((15,), {"P": 4}) == [(0,)]
+        assert d.owners((16,), {"P": 4}) == [(1,)]
+        assert d.owners((63,), {"P": 4}) == [(3,)]
+
+    def test_block_system_matches_owners(self):
+        arr = make_array(dims=(64,))
+        d = block(arr, [16])
+        sys_ = d.system(("a0",), ("p0",))
+        for a in (0, 15, 16, 40, 63):
+            for p in range(4):
+                expected = (p,) in [tuple(o) for o in d.owners((a,), {"P": 4})]
+                assert sys_.satisfies({"a0": a, "p0": p}) == expected
+
+    def test_block_with_overlap(self):
+        """Section 2.2.1 stencil: borders replicated on neighbours."""
+        arr = make_array(dims=(64,))
+        d = block(arr, [16], overlap=[(1, 1)])
+        assert set(map(tuple, d.owners((16,), {"P": 4}))) == {(0,), (1,)}
+        assert set(map(tuple, d.owners((15,), {"P": 4}))) == {(0,), (1,)}
+        assert d.owners((8,), {"P": 4}) == [(0,)]
+        assert d.is_replicated()
+
+    def test_block_shifted(self):
+        """Figure 4(c): blocks shifted right by 1."""
+        arr = make_array(dims=(64,))
+        d = block(arr, [16], shift=[1])
+        # element 0 now falls in block floor((0-1)/16) = -1 -> no owner
+        assert d.owners((0,), {"P": 5}) == []
+        assert d.owners((1,), {"P": 5}) == [(0,)]
+        assert d.owners((17,), {"P": 5}) == [(1,)]
+
+    def test_2d_grid(self):
+        arr = make_array(dims=(32, 32))
+        d = block(arr, [16, 16])
+        assert d.owners((0, 17), {"P0": 2, "P1": 2}) == [(0, 1)]
+        assert d.owners((31, 31), {"P0": 2, "P1": 2}) == [(1, 1)]
+
+    def test_symbolic_dims_system(self):
+        arr = make_array(dims=(N + 1,))
+        d = block(arr, [32])
+        sys_ = d.system(("a0",), ("p0",))
+        assert sys_.satisfies({"a0": 40, "p0": 1, "N": 63})
+        assert not sys_.satisfies({"a0": 40, "p0": 0, "N": 63})
+
+
+class TestCyclicAndReplicated:
+    def test_cyclic_virtual_owner(self):
+        arr = make_array(dims=(N + 1,))
+        d = cyclic(arr)
+        assert d.owners((5,), {"N": 9, "P": 2}) == [(5,)]
+        # virtual 5 folds onto physical 1 when P = 2
+        assert d.space.to_physical((5,), {"P": 2}) == (1,)
+
+    def test_cyclic_is_cyclic(self):
+        arr = make_array(dims=(N + 1,))
+        d = cyclic(arr)
+        assert d.space.is_cyclic({"N": 9, "P": 2}) == (True,)
+        assert d.space.is_cyclic({"N": 9, "P": 16}) == (False,)
+
+    def test_replicated_owns_everything(self):
+        arr = make_array(dims=(8,))
+        d = replicated(arr)
+        assert len(d.owners((3,), {"P": 4})) == 4
+        assert d.is_replicated()
+
+    def test_skewed(self):
+        """Figure 4(d)-style skewing: p = floor((a0 + a1) / 16)."""
+        arr = make_array(dims=(16, 16))
+        d = skewed(arr, rows=[[1, 1]], block_sizes=[16])
+        assert d.owners((0, 0), {"P": 2}) == [(0,)]
+        assert d.owners((15, 15), {"P": 2}) == [(1,)]
+
+
+class TestCompDecomp:
+    LU = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+    def test_onto_owner(self):
+        prog = parse(self.LU)
+        s2 = prog.statement("s2")
+        c = onto(s2, [var("i2")])
+        assert c.owner({"i1": 0, "i2": 5, "i3": 2}) == (5,)
+
+    def test_onto_system(self):
+        prog = parse(self.LU)
+        s2 = prog.statement("s2")
+        c = onto(s2, [var("i2")])
+        sys_ = c.system(("p0",))
+        assert sys_.satisfies({"i1": 0, "i2": 3, "i3": 1, "p0": 3, "N": 5})
+        assert not sys_.satisfies({"i1": 0, "i2": 3, "i3": 1, "p0": 2, "N": 5})
+
+    def test_block_loop(self):
+        prog = parse(
+            """
+array X[N + 1]
+assume N >= 3
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+        )
+        stmt = prog.statements()[0]
+        c = block_loop(stmt, ["i"], [32])
+        assert c.owner({"t": 0, "i": 0}) == (0,)
+        assert c.owner({"t": 0, "i": 32}) == (1,)
+        sys_ = c.system(("p0",))
+        assert sys_.satisfies({"t": 0, "i": 33, "p0": 1, "N": 99, "T": 3, "P": 4})
+
+    def test_every_iteration_has_unique_owner(self):
+        prog = parse(self.LU)
+        s1 = prog.statement("s1")
+        c = onto(s1, [var("i2")])
+        params = {"N": 6}
+        for i1 in range(0, 7):
+            for i2 in range(i1 + 1, 7):
+                owners = c.owner({"i1": i1, "i2": i2})
+                assert owners == (i2,)
+
+
+class TestOwnerComputes:
+    def test_theorem1_from_block(self):
+        prog = parse(TestCompDecomp.LU)
+        s1 = prog.statement("s1")
+        arr = prog.arrays["X"]
+        d = block(arr, [8])  # block rows: p owns rows 8p..8p+7
+        c = owner_computes(s1, d)
+        # s1 writes X[i2][i1]: owner of row i2
+        assert c.owner({"i1": 0, "i2": 11}) == (1,)
+
+    def test_theorem1_rejects_replication(self):
+        prog = parse(TestCompDecomp.LU)
+        s1 = prog.statement("s1")
+        arr = prog.arrays["X"]
+        with pytest.raises(ValueError):
+            owner_computes(s1, replicated(arr))
+        with pytest.raises(ValueError):
+            owner_computes(s1, block(arr, [8], overlap=[(1, 1)]))
+
+    def test_theorem1_consistency_with_data_system(self):
+        """C derived by Theorem 1 must place each write on the data owner."""
+        prog = parse(TestCompDecomp.LU)
+        s1 = prog.statement("s1")
+        arr = prog.arrays["X"]
+        d = block(arr, [8])
+        c = owner_computes(s1, d)
+        params = {"N": 15, "P": 2}
+        for i1 in range(0, 4):
+            for i2 in range(i1 + 1, 16):
+                owner = c.owner({"i1": i1, "i2": i2})
+                element = (i2, i1)
+                assert owner in [tuple(o) for o in d.owners(element, params)]
+
+
+class TestProcSpace:
+    def test_extent_ceil(self):
+        space = ProcSpace.linear((N + 1, 32))
+        assert space.virtual_shape({"N": 63, "P": 4}) == (2,)
+        assert space.virtual_shape({"N": 64, "P": 4}) == (3,)
+
+    def test_virtual_domain_affine(self):
+        space = ProcSpace.linear((N + 1, 32))
+        dom = space.virtual_domain(("p0",))
+        assert dom.satisfies({"p0": 1, "N": 63})
+        assert not dom.satisfies({"p0": 2, "N": 63})
+
+    def test_all_physical(self):
+        space = ProcSpace.grid([4, 4], pdims=[2, 2])
+        assert len(space.all_physical({})) == 4

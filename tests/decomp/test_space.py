@@ -1,0 +1,69 @@
+"""Extent / ProcSpace unit tests."""
+
+import pytest
+
+from repro.decomp import Extent, ProcSpace
+from repro.polyhedra import LinExpr, var
+
+
+class TestExtent:
+    def test_plain(self):
+        e = Extent.coerce(var("N") + 1)
+        assert e.evaluate({"N": 9}) == 10
+
+    def test_ceil_division(self):
+        e = Extent(var("N") + 1, 32)
+        assert e.evaluate({"N": 63}) == 2
+        assert e.evaluate({"N": 64}) == 3
+
+    def test_tuple_coercion(self):
+        e = Extent.coerce((var("N"), 8))
+        assert e.divisor == 8
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            Extent(var("N"), 0)
+
+    def test_domain_upper_affine(self):
+        e = Extent(var("N") + 1, 32)
+        expr = e.domain_upper("p")
+        # 32p <= N: holds for p=1, N=63; fails p=2
+        assert expr.evaluate({"p": 1, "N": 63}) >= 0
+        assert expr.evaluate({"p": 2, "N": 63}) < 0
+
+
+class TestProcSpace:
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ProcSpace((1, 2), (var("P"),))
+
+    def test_to_physical_folds(self):
+        space = ProcSpace.grid([10, 10], pdims=[3, 2])
+        assert space.to_physical((7, 5), {}) == (1, 1)
+
+    def test_counts(self):
+        space = ProcSpace.grid([(var("N"), 4), 6], pdims=[2, 3])
+        params = {"N": 10}
+        assert space.virtual_shape(params) == (3, 6)
+        assert space.virtual_count(params) == 18
+        assert space.physical_count(params) == 6
+
+    def test_is_cyclic(self):
+        space = ProcSpace.linear(10, 4)
+        assert space.is_cyclic({}) == (True,)
+        space = ProcSpace.linear(3, 4)
+        assert space.is_cyclic({}) == (False,)
+
+    def test_virtual_domain(self):
+        space = ProcSpace.linear((var("N") + 1, 8))
+        dom = space.virtual_domain(("p0",))
+        assert dom.satisfies({"p0": 1, "N": 15})
+        assert not dom.satisfies({"p0": 2, "N": 15})
+
+    def test_all_physical_order(self):
+        space = ProcSpace.grid([4, 4], pdims=[2, 2])
+        coords = space.all_physical({})
+        assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_str(self):
+        assert "ProcSpace" in str(ProcSpace.linear(8))

@@ -1,0 +1,177 @@
+"""Parser + interpreter tests on the paper's example programs."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Program, run, run_traced
+from repro.lang import ParseError, parse
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+LU = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+
+class TestParser:
+    def test_fig2_structure(self):
+        prog = parse(FIG2, name="fig2")
+        assert prog.params == ("N", "T")
+        t_loop = prog.single_nest()
+        assert t_loop.var == "t"
+        (i_loop,) = t_loop.body
+        assert i_loop.var == "i"
+        (stmt,) = i_loop.body
+        assert str(stmt.lhs) == "X[i]"
+        assert str(stmt.reads[0]) == "X[i - 3]"
+
+    def test_lu_structure(self):
+        prog = parse(LU, name="lu")
+        stmts = prog.statements()
+        assert [s.name for s in stmts] == ["s1", "s2"]
+        s1, s2 = stmts
+        assert s1.depth == 2 and s2.depth == 3
+        assert s1.iter_vars == ("i1", "i2")
+        assert len(s2.reads) == 3
+
+    def test_comma_subscripts(self):
+        prog = parse(
+            """
+array A[10][10]
+for i = 0 to 8 do
+  A[i, 0] = A[i + 1, 1]
+"""
+        )
+        stmt = prog.statements()[0]
+        assert str(stmt.lhs) == "A[i][0]"
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for i = 0 to 9 do\n  Y[i] = 0\n")
+
+    def test_predeclared_arrays(self):
+        prog = parse(
+            "for i = 0 to 9 do\n  Y[i] = 1\n",
+            arrays={"Y": (10,)},
+        )
+        assert prog.arrays["Y"].shape({}) == (10,)
+
+    def test_duplicate_loop_var_rejected(self):
+        src = """
+array A[20]
+for i = 0 to 3 do
+  A[i] = 0
+for i = 0 to 3 do
+  A[i + 4] = 1
+"""
+        with pytest.raises(ValueError):
+            parse(src)
+
+    def test_assumptions_recorded(self):
+        prog = parse(FIG2)
+        assert not prog.assumptions.is_trivially_true()
+
+    def test_statement_text_preserved(self):
+        prog = parse(LU)
+        assert "X[i1][i1]" in prog.statements()[0].text
+
+    def test_opaque_call(self):
+        prog = parse(
+            """
+array X[N + 1]
+assume N >= 3
+for i = 3 to N do
+  X[i] = f(X[i], X[i - 1], X[i - 2], X[i - 3])
+"""
+        )
+        stmt = prog.statements()[0]
+        assert len(stmt.reads) == 4
+
+
+class TestInterpreter:
+    def test_fig2_semantics(self):
+        prog = parse(FIG2)
+        params = {"N": 9, "T": 2}
+        arrays = run(prog, params, seed=0)
+        from repro.ir import allocate_arrays
+
+        ref = allocate_arrays(prog, params, seed=0)["X"].copy()
+        for _t in range(0, params["T"] + 1):
+            for i in range(3, params["N"] + 1):
+                ref[i] = ref[i - 3]
+        assert np.allclose(arrays["X"], ref)
+
+    def test_lu_matches_manual_elimination(self):
+        prog = parse(LU)
+        params = {"N": 5}
+        from repro.ir import allocate_arrays
+
+        init = allocate_arrays(prog, params, seed=3)
+        ref = init["X"].copy()
+        got = run(prog, params, arrays={"X": init["X"].copy()})["X"]
+        n = params["N"]
+        for i1 in range(0, n + 1):
+            for i2 in range(i1 + 1, n + 1):
+                ref[i2][i1] = ref[i2][i1] / ref[i1][i1]
+                for i3 in range(i1 + 1, n + 1):
+                    ref[i2][i3] = ref[i2][i3] - ref[i2][i1] * ref[i1][i3]
+        assert np.allclose(got, ref)
+
+    def test_trace_last_writer_fig2(self):
+        prog = parse(FIG2)
+        _arrays, trace = run_traced(prog, {"N": 9, "T": 1})
+        # Read at (t=0, i=3) reads X[0]: never written before -> None.
+        first = [
+            r
+            for r in trace.last_writer
+            if r.iteration == (0, 3)
+        ]
+        assert len(first) == 1
+        assert trace.last_writer[first[0]] is None
+        # Read at (t=0, i=6) reads X[3], written at (0, 3).
+        later = [r for r in trace.last_writer if r.iteration == (0, 6)]
+        writer = trace.last_writer[later[0]]
+        assert writer is not None and writer.iteration == (0, 3)
+
+    def test_trace_counts(self):
+        prog = parse(FIG2)
+        _arrays, trace = run_traced(prog, {"N": 9, "T": 1})
+        iters = 2 * 7
+        assert trace.write_count == iters
+        assert trace.read_count == iters
+
+
+class TestProgramQueries:
+    def test_domain_system(self):
+        prog = parse(LU)
+        s2 = prog.statement("s2")
+        domain = s2.domain()
+        assert domain.satisfies({"i1": 0, "i2": 1, "i3": 1, "N": 2})
+        assert not domain.satisfies({"i1": 0, "i2": 0, "i3": 1, "N": 2})
+
+    def test_writes_to(self):
+        prog = parse(LU)
+        x = prog.arrays["X"]
+        assert len(prog.writes_to(x)) == 2
+
+    def test_common_loops_and_text_order(self):
+        from repro.ir import common_loops, textually_before
+
+        prog = parse(LU)
+        s1, s2 = prog.statements()
+        assert common_loops(s1, s2) == 2
+        assert textually_before(s1, s2)
+        assert not textually_before(s2, s1)

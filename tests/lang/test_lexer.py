@@ -1,0 +1,74 @@
+"""Lexer tests: tokens, indentation, errors."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source, kind):
+    return [t.value for t in tokenize(source) if t.kind == kind]
+
+
+class TestTokens:
+    def test_simple_line(self):
+        toks = tokenize("for i = 0 to N do\n")
+        assert [t.kind for t in toks] == [
+            "KEYWORD", "IDENT", "OP", "NUMBER", "KEYWORD", "IDENT",
+            "KEYWORD", "NEWLINE", "EOF",
+        ]
+
+    def test_operators(self):
+        assert values("a <= b >= c == d != e\n", "OP") == [
+            "<=", ">=", "==", "!=",
+        ]
+
+    def test_comments_skipped(self):
+        toks = tokenize("# a comment\nx[0] = 1  # trailing\n")
+        assert all(t.kind != "COMMENT" for t in toks)
+        assert values("x[0] = 1 # c\n", "NUMBER") == ["0", "1"]
+
+    def test_blank_lines_skipped(self):
+        assert kinds("\n\nx[0] = 1\n\n") == kinds("x[0] = 1\n")
+
+    def test_numbers_and_idents(self):
+        toks = tokenize("foo123 456\n")
+        assert toks[0].kind == "IDENT" and toks[0].value == "foo123"
+        assert toks[1].kind == "NUMBER" and toks[1].value == "456"
+
+
+class TestIndentation:
+    def test_indent_dedent(self):
+        src = "for i = 0 to 1 do\n  x[i] = 0\nx[0] = 1\n"
+        ks = kinds(src)
+        assert "INDENT" in ks and "DEDENT" in ks
+        assert ks.index("INDENT") < ks.index("DEDENT")
+
+    def test_nested_dedents_closed_at_eof(self):
+        src = "for i = 0 to 1 do\n  for j = 0 to 1 do\n    x[i] = j\n"
+        ks = kinds(src)
+        assert ks.count("INDENT") == 2
+        assert ks.count("DEDENT") == 2
+
+    def test_inconsistent_dedent_rejected(self):
+        src = "for i = 0 to 1 do\n    x[i] = 0\n  x[i] = 1\n"
+        with pytest.raises(LexError):
+            tokenize(src)
+
+    def test_tabs_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("for i = 0 to 1 do\n\tx[i] = 0\n")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("x[0] = 1 @ 2\n")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        toks = tokenize("a[0] = 1\nb[0] = 2\n")
+        lines = {t.value: t.line for t in toks if t.kind == "IDENT"}
+        assert lines == {"a": 1, "b": 2}

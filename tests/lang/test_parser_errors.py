@@ -1,0 +1,85 @@
+"""Parser error handling and edge cases."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+
+
+class TestErrors:
+    def test_nonaffine_subscript_rejected(self):
+        with pytest.raises(ParseError):
+            parse("array A[100]\nfor i = 0 to 9 do\n  A[i * i] = 0\n")
+
+    def test_nonaffine_bound_rejected(self):
+        with pytest.raises(ParseError):
+            parse("array A[100]\nfor i = 0 to N * N do\n  A[i] = 0\n")
+
+    def test_missing_do(self):
+        with pytest.raises(ParseError):
+            parse("array A[10]\nfor i = 0 to 9\n  A[i] = 0\n")
+
+    def test_missing_then(self):
+        src = "array A[10]\nfor i = 0 to 9 do\n  if A[i] > 0\n    A[i] = 0\n"
+        with pytest.raises(ParseError):
+            parse(src)
+
+    def test_bad_assume_operator(self):
+        with pytest.raises(ParseError):
+            parse("array A[10]\nassume N % 2\nfor i = 0 to 9 do\n  A[i] = 0\n")
+
+    def test_unclosed_subscript(self):
+        with pytest.raises(ParseError):
+            parse("array A[10]\nfor i = 0 to 9 do\n  A[i = 0\n")
+
+
+class TestEdgeCases:
+    def test_parenthesized_affine(self):
+        prog = parse(
+            "array A[40]\nfor i = 0 to 9 do\n  A[2 * (i + 3)] = i\n"
+        )
+        stmt = prog.statements()[0]
+        assert str(stmt.lhs) == "A[2*i + 6]"
+
+    def test_constant_times_parenthesized(self):
+        prog = parse(
+            "array A[40]\nfor i = 0 to 9 do\n  A[(i + 1) * 3] = i\n"
+        )
+        assert str(prog.statements()[0].lhs) == "A[3*i + 3]"
+
+    def test_unary_minus_in_bounds(self):
+        prog = parse(
+            "array A[30]\nfor i = -3 to 9 do\n  A[i + 10] = i\n"
+        )
+        loop = prog.single_nest()
+        assert loop.lower.const == -3
+
+    def test_rhs_modulo_operator(self):
+        prog = parse(
+            "array A[10]\nfor i = 0 to 9 do\n  A[i] = i % 3\n"
+        )
+        from repro.ir import run
+
+        out = run(prog, {})
+        assert out["A"][4] == 1.0
+
+    def test_deeply_nested(self):
+        src = (
+            "array A[6][6][6][6]\n"
+            "for a = 0 to 5 do\n"
+            " for b = 0 to 5 do\n"
+            "  for c = 0 to 5 do\n"
+            "   for d = 0 to 5 do\n"
+            "    A[a][b][c][d] = a + b + c + d\n"
+        )
+        prog = parse(src)
+        assert prog.statements()[0].depth == 4
+
+    def test_division_in_rhs(self):
+        prog = parse(
+            "array A[10]\nfor i = 1 to 9 do\n  A[i] = A[i] / 2\n"
+        )
+        from repro.ir import allocate_arrays, run
+
+        init = allocate_arrays(prog, {}, seed=0)["A"].copy()
+        out = run(prog, {}, seed=0)
+        assert abs(out["A"][5] - init[5] / 2) < 1e-12

@@ -1,0 +1,98 @@
+"""Unit tests for LinExpr arithmetic."""
+
+import pytest
+
+from repro.polyhedra import LinExpr, const, linear_combination, var
+
+
+class TestConstruction:
+    def test_zero_coefficients_are_dropped(self):
+        expr = LinExpr({"i": 0, "j": 2})
+        assert expr.variables() == frozenset({"j"})
+
+    def test_var_and_const_helpers(self):
+        assert var("i").coeff("i") == 1
+        assert const(7).const == 7
+        assert const(7).is_constant()
+
+    def test_coerce_int(self):
+        assert LinExpr.coerce(5) == const(5)
+
+    def test_coerce_passthrough(self):
+        expr = var("i")
+        assert LinExpr.coerce(expr) is expr
+
+    def test_linear_combination(self):
+        expr = linear_combination([(2, "i"), (3, "j"), (1, "i")], 4)
+        assert expr.coeff("i") == 3
+        assert expr.coeff("j") == 3
+        assert expr.const == 4
+
+
+class TestArithmetic:
+    def test_add(self):
+        expr = var("i") + var("j") + 3
+        assert expr.coeff("i") == 1 and expr.coeff("j") == 1 and expr.const == 3
+
+    def test_add_cancels(self):
+        expr = var("i") - var("i")
+        assert expr.is_zero()
+
+    def test_sub_int_lhs(self):
+        expr = 5 - var("i")
+        assert expr.coeff("i") == -1 and expr.const == 5
+
+    def test_neg(self):
+        expr = -(var("i") * 2 + 3)
+        assert expr.coeff("i") == -2 and expr.const == -3
+
+    def test_scalar_mul(self):
+        expr = (var("i") + 1) * 4
+        assert expr.coeff("i") == 4 and expr.const == 4
+
+    def test_divide_exact(self):
+        expr = (var("i") * 6 + 9).divide_exact(3)
+        assert expr.coeff("i") == 2 and expr.const == 3
+
+    def test_divide_exact_rejects_remainder(self):
+        with pytest.raises(ValueError):
+            (var("i") * 6 + 8).divide_exact(3)
+
+    def test_normalized_ineq_tightens_constant(self):
+        # 2i - 3 >= 0  over integers is  i - 2 >= 0 (i >= ceil(3/2))
+        expr = (var("i") * 2 - 3).normalized_ineq()
+        assert expr == var("i") - 2
+
+    def test_normalized_ineq_unit_content_unchanged(self):
+        expr = var("i") * 3 - var("j")
+        assert expr.normalized_ineq() == expr
+
+
+class TestSubstitution:
+    def test_substitute_expr(self):
+        expr = var("i") * 2 + var("j")
+        out = expr.substitute({"i": var("k") + 1})
+        assert out == var("k") * 2 + var("j") + 2
+
+    def test_substitute_int(self):
+        out = (var("i") + var("j")).substitute({"i": 3})
+        assert out == var("j") + 3
+
+    def test_rename_merges(self):
+        expr = var("i") + var("j")
+        assert expr.rename({"i": "j"}) == var("j") * 2
+
+    def test_evaluate(self):
+        expr = var("i") * 3 - var("j") + 2
+        assert expr.evaluate({"i": 4, "j": 5}) == 9
+
+
+class TestEqualityHash:
+    def test_eq_and_hash(self):
+        a = var("i") + 1
+        b = LinExpr({"i": 1}, 1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_str_round_readability(self):
+        assert str(var("i") - var("j") * 2 + 3) == "i - 2*j + 3"
+        assert str(const(0)) == "0"

@@ -1,0 +1,97 @@
+"""Bound-expression tree tests (CeilDiv/FloorDiv/Max/Min/Combo/Mod)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import (
+    CeilDiv,
+    Combo,
+    FloorDiv,
+    Lin,
+    LinExpr,
+    MaxE,
+    MinE,
+    ModE,
+    lower_bound_expr,
+    simplify_bexpr,
+    upper_bound_expr,
+    var,
+)
+
+
+class TestEvaluation:
+    def test_lin(self):
+        assert Lin(var("i") * 2 + 1).evaluate({"i": 3}) == 7
+
+    def test_ceil_floor_negative(self):
+        assert CeilDiv(Lin(var("x")), 4).evaluate({"x": -7}) == -1
+        assert FloorDiv(Lin(var("x")), 4).evaluate({"x": -7}) == -2
+        assert CeilDiv(Lin(var("x")), 4).evaluate({"x": 7}) == 2
+        assert FloorDiv(Lin(var("x")), 4).evaluate({"x": 7}) == 1
+
+    def test_max_min(self):
+        e = MaxE((Lin(var("a")), Lin(var("b"))))
+        assert e.evaluate({"a": 3, "b": 9}) == 9
+        e = MinE((Lin(var("a")), Lin(var("b"))))
+        assert e.evaluate({"a": 3, "b": 9}) == 3
+
+    def test_combo(self):
+        e = Combo(((3, Lin(var("x"))), (2, Lin(var("y")))), 5)
+        assert e.evaluate({"x": 1, "y": 10}) == 28
+
+    def test_mod(self):
+        assert ModE(Lin(var("p")), 4).evaluate({"p": 11}) == 3
+
+    def test_variables(self):
+        e = MaxE((Lin(var("a") + var("b")), CeilDiv(Lin(var("c")), 2)))
+        assert e.variables() == frozenset({"a", "b", "c"})
+
+
+class TestBoundHelpers:
+    def test_lower_bound_single(self):
+        e = lower_bound_expr([(1, var("n"))])
+        assert isinstance(e, Lin)
+
+    def test_lower_bound_ceil(self):
+        e = lower_bound_expr([(3, var("n"))])
+        assert isinstance(e, CeilDiv)
+        assert e.evaluate({"n": 7}) == 3
+
+    def test_upper_bound_floor(self):
+        e = upper_bound_expr([(3, var("n")), (1, var("m"))])
+        assert isinstance(e, MinE)
+        assert e.evaluate({"n": 7, "m": 10}) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(-50, 50), st.integers(1, 9))
+    def test_ceil_floor_identities(self, x, d):
+        ceil = CeilDiv(Lin(var("x")), d).evaluate({"x": x})
+        floor = FloorDiv(Lin(var("x")), d).evaluate({"x": x})
+        assert floor <= x / d <= ceil
+        assert ceil - floor in (0, 1)
+        assert ceil == -((-x) // d)
+
+
+class TestSimplify:
+    def test_unit_division_collapses(self):
+        e = simplify_bexpr(CeilDiv(Lin(var("x")), 1))
+        assert isinstance(e, Lin)
+
+    def test_nested_max_flattens(self):
+        e = simplify_bexpr(
+            MaxE((MaxE((Lin(var("a")), Lin(var("b")))), Lin(var("c"))))
+        )
+        assert isinstance(e, MaxE) and len(e.items) == 3
+
+    def test_duplicate_items_merge(self):
+        e = simplify_bexpr(MaxE((Lin(var("a")), Lin(var("a")))))
+        assert isinstance(e, Lin)
+
+    def test_singleton_combo_collapses(self):
+        e = simplify_bexpr(Combo(((1, Lin(var("a"))),), 0))
+        assert isinstance(e, Lin)
+
+    def test_strings_render(self):
+        assert str(CeilDiv(Lin(var("n")), 3)) == "ceild(n, 3)"
+        assert "max(" in str(MaxE((Lin(var("a")), Lin(var("b")))))

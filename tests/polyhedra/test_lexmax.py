@@ -1,0 +1,222 @@
+"""Parametric lexmax tests, validated against brute-force maximization."""
+
+import pytest
+
+from repro.polyhedra import (
+    LexMaxUnsupportedError,
+    System,
+    parametric_lexmax,
+    subtract_piece,
+    var,
+)
+
+
+def brute_lexmax(system, opt_vars, param_env, lo=-20, hi=40):
+    """Ground truth: enumerate and take the lexicographic max."""
+    best = None
+    names = list(opt_vars)
+
+    def rec(env, idx):
+        nonlocal best
+        if idx == len(names):
+            if system.satisfies({**env, **param_env}):
+                key = tuple(env[n] for n in names)
+                if best is None or key > best:
+                    best = key
+            return
+        for value in range(lo, hi + 1):
+            env[names[idx]] = value
+            rec(env, idx + 1)
+            del env[names[idx]]
+
+    rec({}, 0)
+    return best
+
+
+def apply_pieces(pieces, param_env):
+    """Evaluate a piecewise solution at a concrete parameter point."""
+    hits = []
+    for piece in pieces:
+        env = dict(param_env)
+        ok = True
+        # Solve auxiliaries (each is floor(g/b), determined by its sandwich).
+        for q in piece.aux_vars:
+            value = _solve_aux(piece.aux_defs, q, env)
+            if value is None:
+                ok = False
+                break
+            env[q] = value
+        if not ok or not piece.conditions.satisfies(env):
+            continue
+        hits.append(tuple(
+            piece.mapping[v].evaluate(env) for v in sorted(piece.mapping)
+        ))
+    return hits
+
+
+def _solve_aux(aux_defs, q, env):
+    # sandwich: g - b*q >= 0 and b*q + b - 1 - g >= 0  =>  q = floor(g/b)
+    for ineq in aux_defs.inequalities:
+        coeff = ineq.coeff(q)
+        if coeff < 0:
+            # ineq = g - b*q: q <= g/b with b = -coeff
+            g = ineq - var(q) * coeff
+            known = set(g.variables()) <= set(env)
+            if known:
+                return g.evaluate(env) // (-coeff)
+    return None
+
+
+class TestBasic:
+    def test_single_upper_bound(self):
+        # maximize w subject to w <= r - 3, w >= 0
+        sys_ = System(inequalities=[var("r") - 3 - var("w"), var("w")])
+        pieces = parametric_lexmax(sys_, ["w"])
+        assert len(pieces) == 1
+        piece = pieces[0]
+        assert piece.mapping["w"] == var("r") - 3
+        # existence condition: r - 3 >= 0
+        assert any(
+            str(c) in ("r - 3",) for c in piece.conditions.inequalities
+        )
+
+    def test_equality_pins_value(self):
+        sys_ = System(
+            equalities=[var("w") - var("r") + 3],
+            inequalities=[var("w") - 3, var("N") - var("w")],
+        )
+        pieces = parametric_lexmax(sys_, ["w"])
+        assert len(pieces) == 1
+        assert pieces[0].mapping["w"] == var("r") - 3
+
+    def test_two_competing_bounds(self):
+        # maximize w <= r, w <= M, w >= 0: piecewise min(r, M)
+        sys_ = System(
+            inequalities=[var("r") - var("w"), var("M") - var("w"), var("w")]
+        )
+        pieces = parametric_lexmax(sys_, ["w"])
+        assert len(pieces) == 2
+        for env in ({"r": 3, "M": 7}, {"r": 7, "M": 3}, {"r": 5, "M": 5}):
+            hits = apply_pieces(pieces, env)
+            assert hits == [(min(env["r"], env["M"]),)]
+
+    def test_two_vars_lexicographic(self):
+        # maximize (t, i): t <= T, i <= t (triangular), both >= 0
+        sys_ = System(
+            inequalities=[
+                var("T") - var("t"),
+                var("t") - var("i"),
+                var("t"),
+                var("i"),
+            ]
+        )
+        pieces = parametric_lexmax(sys_, ["t", "i"])
+        for T in (0, 3, 9):
+            hits = apply_pieces(pieces, {"T": T})
+            # mapping sorted keys: i, t
+            assert hits == [(T, T)]
+
+    def test_floor_solution(self):
+        # maximize w subject to 2w <= r, w >= 0: w = floor(r/2)
+        sys_ = System(inequalities=[var("r") - var("w") * 2, var("w")])
+        pieces = parametric_lexmax(sys_, ["w"])
+        assert len(pieces) == 1
+        for r in range(0, 9):
+            hits = apply_pieces(pieces, {"r": r})
+            assert hits == [(r // 2,)]
+
+    def test_unbounded_raises(self):
+        sys_ = System(inequalities=[var("w") - var("r")])
+        with pytest.raises(LexMaxUnsupportedError):
+            parametric_lexmax(sys_, ["w"])
+
+    def test_empty_system_no_pieces(self):
+        sys_ = System(
+            inequalities=[var("w") - 5, 3 - var("w"), var("r") - var("w")]
+        )
+        assert parametric_lexmax(sys_, ["w"]) == []
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("r", range(3, 12))
+    def test_fig2_last_write(self, r):
+        """The Figure 2/3 relation: write i_w = i_r - 3 within [3, N]."""
+        sys_ = System(
+            equalities=[var("iw") - var("ir") + 3],
+            inequalities=[
+                var("iw") - 3,
+                var("N") - var("iw"),
+                var("ir") - 3,
+                var("N") - var("ir"),
+            ],
+        )
+        pieces = parametric_lexmax(sys_, ["iw"])
+        env = {"ir": r, "N": 12}
+        expected = brute_lexmax(sys_, ["iw"], env, 0, 13)
+        hits = apply_pieces(pieces, env)
+        if expected is None:
+            assert hits == []
+        else:
+            assert hits == [expected]
+
+    @pytest.mark.parametrize(
+        "env",
+        [
+            {"r": 4, "N": 10},
+            {"r": 9, "N": 10},
+            {"r": 0, "N": 10},
+            {"r": 10, "N": 3},
+        ],
+    )
+    def test_band_with_min(self, env):
+        # maximize (u, w): u <= w, w <= r, w <= N - 1, u >= 0, w >= 0
+        sys_ = System(
+            inequalities=[
+                var("w") - var("u"),
+                var("r") - var("w"),
+                var("N") - 1 - var("w"),
+                var("u"),
+                var("w"),
+            ]
+        )
+        pieces = parametric_lexmax(sys_, ["u", "w"])
+        expected = brute_lexmax(sys_, ["u", "w"], env, -2, 15)
+        hits = apply_pieces(pieces, env)
+        if expected is None:
+            assert hits == []
+        else:
+            # mapping keys sorted: u, w
+            assert len(hits) == 1
+            assert hits[0] == expected
+
+
+class TestDisjointness:
+    def test_pieces_disjoint(self):
+        sys_ = System(
+            inequalities=[var("r") - var("w"), var("M") - var("w"), var("w")]
+        )
+        pieces = parametric_lexmax(sys_, ["w"])
+        for r in range(0, 8):
+            for m in range(0, 8):
+                hits = apply_pieces(pieces, {"r": r, "M": m})
+                assert len(hits) == 1
+
+    def test_subtract_piece_covers_remainder(self):
+        domain = System(
+            inequalities=[var("r") - 3, 12 - var("r")]
+        )
+        sys_ = System(
+            equalities=[var("w") - var("r") + 3],
+            inequalities=[var("w") - 3, var("r") - 3, 12 - var("r")],
+        )
+        pieces = parametric_lexmax(sys_, ["w"])
+        remaining = [domain]
+        for piece in pieces:
+            remaining = subtract_piece(remaining, piece)
+        covered = set()
+        for region in remaining:
+            for r in range(3, 13):
+                if region.satisfies({"r": r}):
+                    covered.add(r)
+        # writes exist for r >= 6; remainder is r in [3, 5]
+        assert covered == {3, 4, 5}

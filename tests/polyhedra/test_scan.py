@@ -1,0 +1,260 @@
+"""Scanning tests, including the paper's Figure 6 projection example."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import (
+    EmptyPolyhedronError,
+    LinExpr,
+    System,
+    enumerate_scan,
+    scan,
+    var,
+)
+
+
+def brute_points(system, order, lo=-30, hi=60, params=None):
+    """Ground-truth enumeration in lexicographic order of ``order``."""
+    params = params or {}
+    names = list(order)
+    points = []
+
+    def rec(env, idx):
+        if idx == len(names):
+            if system.satisfies({**env, **params}):
+                points.append(dict(env))
+            return
+        for value in range(lo, hi + 1):
+            env[names[idx]] = value
+            rec(env, idx + 1)
+            del env[names[idx]]
+
+    rec({}, 0)
+    return points
+
+
+class TestFigure6:
+    """The 2-D polyhedron of Figure 6 scanned both ways.
+
+    Constraints (read off the figure): 1 <= i, i <= 6 - wait -- the
+    published table lists, for (i, j) order:
+        j:  max(1, i-2) <= j <= min(4, i+1)  (from 1<=j<=4, i-2<=j, j<=i+1)
+        i:  1 <= i <= 6
+    and for (j, i) order:
+        i:  max(1, j-1) <= i <= min(6, j+2)
+        j:  1 <= j <= 4
+    We encode the five constraints and check both scan orders agree with
+    brute-force enumeration and produce those bounds.
+    """
+
+    def setup_method(self):
+        self.sys = System(
+            inequalities=[
+                var("i") - 1,          # i >= 1
+                6 - var("i"),          # i <= 6
+                var("j") - 1,          # j >= 1
+                4 - var("j"),          # j <= 4
+                var("j") - var("i") + 2,   # j >= i - 2
+                var("i") - var("j") + 1,   # i >= j - 1  <=> j <= i + 1
+            ]
+        )
+
+    def test_scan_ij_matches_bruteforce(self):
+        result = scan(self.sys, ["i", "j"])
+        got = enumerate_scan(result, {})
+        expected = brute_points(self.sys, ["i", "j"], 0, 8)
+        assert got == expected
+
+    def test_scan_ji_matches_bruteforce(self):
+        result = scan(self.sys, ["j", "i"])
+        got = enumerate_scan(result, {})
+        expected = brute_points(self.sys, ["j", "i"], 0, 8)
+        assert got == expected
+
+    def test_ij_bounds_shape(self):
+        result = scan(self.sys, ["i", "j"])
+        i_loop, j_loop = result.loops
+        assert i_loop.var == "i"
+        # outer bounds collapse to constants 1..6
+        assert {(a, str(f)) for a, f in i_loop.lowers} == {(1, "1")}
+        assert {(a, str(f)) for a, f in i_loop.uppers} == {(1, "6")}
+        # inner j keeps both candidate bounds on each side
+        assert len(j_loop.lowers) == 2 and len(j_loop.uppers) == 2
+
+    def test_guards_empty(self):
+        result = scan(self.sys, ["i", "j"])
+        assert result.guards.is_trivially_true()
+
+
+class TestDegenerateLoops:
+    def test_equality_becomes_assignment(self):
+        sys_ = System(
+            equalities=[var("j") - var("i") + 3],
+            inequalities=[var("i") - 5, 10 - var("i")],
+        )
+        result = scan(sys_, ["i", "j"])
+        j_loop = result.loops[1]
+        assert j_loop.is_degenerate()
+        assert str(j_loop.assignment) == "i - 3"
+
+    def test_scaled_equality_gets_div_guard(self):
+        # 3j == i: only multiples of 3 iterate
+        sys_ = System(
+            equalities=[var("j") * 3 - var("i")],
+            inequalities=[var("i"), 10 - var("i")],
+        )
+        result = scan(sys_, ["i", "j"], eliminate_degenerate=False)
+        got = enumerate_scan(result, {})
+        # Without degenerate elimination, j loop bounds are
+        # ceil(i/3) <= j <= floor(i/3): empty unless 3 | i.
+        assert [pt["i"] for pt in got] == [0, 3, 6, 9]
+
+    def test_stride_recovery(self):
+        # p ≡ 2 (mod 5), 0 <= p <= 23, via auxiliary k: p - 5k - 2 == 0
+        sys_ = System(
+            equalities=[var("p") - var("k") * 5 - 2],
+            inequalities=[var("p"), 23 - var("p")],
+        )
+        result = scan(sys_, ["p", "k"])
+        got = [pt["p"] for pt in enumerate_scan(result, {})]
+        assert got == [2, 7, 12, 17, 22]
+        p_loop = result.loops[0]
+        assert p_loop.step == 5
+
+    def test_floor_div_assignment(self):
+        # c = floor(i / 4): 4c <= i <= 4c + 3
+        sys_ = System(
+            inequalities=[
+                var("i") - var("c") * 4,
+                var("c") * 4 + 3 - var("i"),
+                var("i"),
+                11 - var("i"),
+            ]
+        )
+        result = scan(sys_, ["i", "c"])
+        c_loop = result.loops[1]
+        assert c_loop.is_degenerate()
+        got = enumerate_scan(result, {})
+        assert [(pt["i"], pt["c"]) for pt in got] == [
+            (i, i // 4) for i in range(12)
+        ]
+
+
+class TestParametricScan:
+    def test_parameter_in_bounds(self):
+        sys_ = System(
+            inequalities=[var("i") - 1, var("N") - var("i")]
+        )
+        result = scan(sys_, ["i"])
+        for n in (0, 1, 5):
+            got = [pt["i"] for pt in enumerate_scan(result, {"N": n})]
+            assert got == list(range(1, n + 1))
+
+    def test_guard_on_parameters(self):
+        # i == N and i <= 5: guard must include N <= 5
+        sys_ = System(
+            equalities=[var("i") - var("N")],
+            inequalities=[var("i"), 5 - var("i")],
+        )
+        result = scan(sys_, ["i"])
+        assert enumerate_scan(result, {"N": 7}) == []
+        assert enumerate_scan(result, {"N": 3}) == [{"i": 3}]
+
+    def test_context_prunes_guards(self):
+        sys_ = System(
+            inequalities=[var("i"), var("N") - var("i"), var("N") - 1]
+        )
+        context = System(inequalities=[var("N") - 10])
+        result = scan(sys_, ["i"], context=context)
+        assert result.guards.is_trivially_true()
+
+    def test_empty_raises(self):
+        sys_ = System(inequalities=[var("i") - 5, 3 - var("i")])
+        with pytest.raises(EmptyPolyhedronError):
+            scan(sys_, ["i"])
+
+
+class TestTriangularAndSkewed:
+    def test_triangle(self):
+        sys_ = System(
+            inequalities=[
+                var("i"),
+                9 - var("i"),
+                var("j") - var("i"),
+                9 - var("j"),
+            ]
+        )
+        result = scan(sys_, ["i", "j"])
+        got = enumerate_scan(result, {})
+        expected = brute_points(sys_, ["i", "j"], -1, 10)
+        assert got == expected
+
+    def test_skewed_band(self):
+        sys_ = System(
+            inequalities=[
+                var("i") + var("j") - 4,
+                12 - var("i") - var("j"),
+                var("i"),
+                8 - var("i"),
+                var("j"),
+                8 - var("j"),
+            ]
+        )
+        for order in (["i", "j"], ["j", "i"]):
+            result = scan(sys_, order)
+            assert enumerate_scan(result, {}) == brute_points(
+                sys_, order, -1, 13
+            )
+
+    def test_coefficient_2_band(self):
+        # 2j <= i <= 2j + 5 inside a box: FM real shadow is inexact here,
+        # but scanning stays correct because empty inner loops are skipped.
+        sys_ = System(
+            inequalities=[
+                var("i") - var("j") * 2,
+                var("j") * 2 + 5 - var("i"),
+                var("i"),
+                10 - var("i"),
+                var("j"),
+                10 - var("j"),
+            ]
+        )
+        for order in (["i", "j"], ["j", "i"]):
+            result = scan(sys_, order)
+            assert enumerate_scan(result, {}) == brute_points(
+                sys_, order, -1, 11
+            )
+
+
+@st.composite
+def random_2d_polyhedron(draw):
+    ineqs = [
+        var("x") + 5,
+        8 - var("x"),
+        var("y") + 5,
+        8 - var("y"),
+    ]
+    for _ in range(draw(st.integers(1, 3))):
+        cx = draw(st.integers(-3, 3))
+        cy = draw(st.integers(-3, 3))
+        c0 = draw(st.integers(-12, 12))
+        ineqs.append(LinExpr({"x": cx, "y": cy}, c0))
+    return ineqs
+
+
+class TestScanProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(random_2d_polyhedron())
+    def test_scan_equals_bruteforce(self, ineqs):
+        try:
+            sys_ = System(inequalities=ineqs)
+        except Exception:
+            return
+        expected = brute_points(sys_, ["x", "y"], -6, 9)
+        if not expected:
+            with pytest.raises(EmptyPolyhedronError):
+                scan(sys_, ["x", "y"])
+            return
+        result = scan(sys_, ["x", "y"])
+        assert enumerate_scan(result, {}) == expected

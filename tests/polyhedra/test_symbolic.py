@@ -1,0 +1,131 @@
+"""Symbolic block size tests (Section 5.1 extension)."""
+
+import pytest
+
+from repro.polyhedra.symbolic import (
+    SymCoef,
+    SymExpr,
+    SymSystem,
+    SymbolicUnsupportedError,
+    symbolic_block_scan,
+    symbolic_scan,
+)
+
+
+class TestSymCoef:
+    def test_of(self):
+        assert SymCoef.of(3).const == 3
+        assert SymCoef.of("B").terms == (("B", 1),)
+
+    def test_positivity(self):
+        assert SymCoef.of("B").is_positive()
+        assert SymCoef(2, (("B", 1),)).is_positive()
+        assert not SymCoef(0).is_positive()
+        assert not SymCoef(-1).is_positive()
+
+    def test_mul_integer(self):
+        c = SymCoef.of("B") * SymCoef.of(3)
+        assert c.terms == (("B", 3),)
+
+    def test_mul_symbolic_rejected(self):
+        with pytest.raises(SymbolicUnsupportedError):
+            SymCoef.of("B") * SymCoef.of("P")
+
+    def test_evaluate(self):
+        assert SymCoef(2, (("B", 3),)).evaluate({"B": 5}) == 17
+
+
+class TestSymExprSystem:
+    def test_expr_evaluate(self):
+        expr = SymExpr.build({"i": 1, "p": SymCoef.of("B")}, -1)
+        assert expr.evaluate({"i": 10, "p": 2, "B": 4}) == 17
+
+    def test_eliminate_stays_linear(self):
+        # B*p <= i and i <= N: eliminating i gives B*p <= N
+        sys_ = SymSystem()
+        sys_.add(
+            SymExpr.build({"i": 1})
+            + SymExpr.build({"p": SymCoef.of("B")}).negate()
+        )
+        sys_.add(SymExpr.build({"i": 1}).negate() + SymExpr.build({"N": 1}))
+        out = sys_.eliminate("i")
+        assert len(out.inequalities) == 1
+        combined = out.inequalities[0]
+        assert str(combined.coeff("p")) != "0"
+        # holds exactly when B*p <= N
+        assert combined.evaluate({"p": 2, "B": 8, "N": 20}) >= 0
+        assert combined.evaluate({"p": 3, "B": 8, "N": 20}) < 0
+
+    def test_nonlinear_elimination_rejected(self):
+        # B*p <= i and P*i <= q: the combination needs a B*P product
+        sys_ = SymSystem()
+        sys_.add(
+            SymExpr.build({"i": 1})
+            + SymExpr.build({"p": SymCoef.of("B")}).negate()
+        )
+        sys_.add(
+            SymExpr.build({"i": SymCoef.of("P")}).negate()
+            + SymExpr.build({"q": 1})
+        )
+        with pytest.raises(SymbolicUnsupportedError):
+            sys_.eliminate("i")
+
+
+class TestSymbolicBlockScan:
+    def test_figure7_with_symbolic_block(self):
+        levels = symbolic_block_scan("i", 3, "N", "B")
+        text = [lvl.describe() for lvl in levels]
+        # the inner loop is Figure 7's bounds with B in place of 32
+        inner = text[1]
+        assert "for i =" in inner
+        assert "(B)*p" in inner.replace(" ", "").replace("(1)*", "") or "B" in inner
+        # semantics: enumerate concretely for B=32 and compare with the
+        # fixed-size bounds of Figure 7
+        env = {"N": 70, "B": 32}
+        points = []
+        outer, inner_lvl = levels
+        for p in range(0, 10):
+            env_p = dict(env, p=p)
+            lo = max(
+                -(-b.expr.evaluate(env_p) // b.divisor.evaluate(env_p))
+                for b in inner_lvl.lowers
+            )
+            hi = min(
+                b.expr.evaluate(env_p) // b.divisor.evaluate(env_p)
+                for b in inner_lvl.uppers
+            )
+            for i in range(lo, hi + 1):
+                points.append((p, i))
+        expected = [
+            (p, i)
+            for p in range(0, 10)
+            for i in range(max(3, 32 * p), min(70, 32 * p + 31) + 1)
+        ]
+        assert points == expected
+
+    def test_outer_bounds(self):
+        levels = symbolic_block_scan("i", 3, "N", "B")
+        outer = levels[0]
+        env = {"N": 70, "B": 32}
+        hi = min(
+            b.expr.evaluate(env) // b.divisor.evaluate(env)
+            for b in outer.uppers
+        )
+        assert hi == 2  # floord(N, B) = 2
+
+    def test_different_block_sizes_same_code(self):
+        """One symbolic scan serves every block size (the point of the
+        Section 5.1 extension: B need not be known at compile time)."""
+        levels = symbolic_block_scan("i", 0, "N", "B")
+        inner = levels[1]
+        for b_size in (4, 10, 64):
+            env = {"N": 63, "B": b_size, "p": 1}
+            lo = max(
+                -(-b.expr.evaluate(env) // b.divisor.evaluate(env))
+                for b in inner.lowers
+            )
+            hi = min(
+                b.expr.evaluate(env) // b.divisor.evaluate(env)
+                for b in inner.uppers
+            )
+            assert (lo, hi) == (b_size, min(63, 2 * b_size - 1))

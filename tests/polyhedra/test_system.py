@@ -1,0 +1,90 @@
+"""System API unit tests."""
+
+import pytest
+
+from repro.polyhedra import InfeasibleError, LinExpr, System, var
+
+
+class TestConstruction:
+    def test_trivially_true_dropped(self):
+        sys_ = System(inequalities=[LinExpr.const_expr(5)])
+        assert sys_.is_trivially_true()
+
+    def test_constant_false_raises(self):
+        with pytest.raises(InfeasibleError):
+            System(inequalities=[LinExpr.const_expr(-1)])
+
+    def test_constant_false_equality_raises(self):
+        with pytest.raises(InfeasibleError):
+            System(equalities=[LinExpr.const_expr(2)])
+
+    def test_duplicate_inequalities_merged(self):
+        sys_ = System(inequalities=[var("x") - 1, var("x") - 1])
+        assert len(sys_.inequalities) == 1
+
+    def test_negated_equality_merged(self):
+        sys_ = System(equalities=[var("x") - var("y")])
+        sys_.add_equality(var("y") - var("x"))
+        assert len(sys_.equalities) == 1
+
+    def test_gcd_tightening_on_add(self):
+        sys_ = System()
+        sys_.add_inequality(var("x") * 2 - 3)  # 2x >= 3 -> x >= 2
+        assert sys_.inequalities[0] == var("x") - 2
+
+
+class TestHelpers:
+    def test_add_range(self):
+        sys_ = System()
+        sys_.add_range(var("i"), 0, var("N") - 1)
+        assert sys_.satisfies({"i": 0, "N": 5})
+        assert not sys_.satisfies({"i": 5, "N": 5})
+
+    def test_add_lt(self):
+        sys_ = System()
+        sys_.add_lt(var("a"), var("b"))
+        assert sys_.satisfies({"a": 1, "b": 2})
+        assert not sys_.satisfies({"a": 2, "b": 2})
+
+    def test_intersect_is_new_object(self):
+        a = System(inequalities=[var("x")])
+        b = System(inequalities=[var("y")])
+        c = a.intersect(b)
+        assert len(a.inequalities) == 1
+        assert len(c.inequalities) == 2
+
+    def test_conjunction(self):
+        parts = [System(inequalities=[var(v)]) for v in "abc"]
+        combined = System.conjunction(parts)
+        assert len(combined.inequalities) == 3
+
+    def test_substitute_infeasible(self):
+        sys_ = System(inequalities=[var("x") - 5])
+        with pytest.raises(InfeasibleError):
+            sys_.substitute({"x": 3})
+
+    def test_rename(self):
+        sys_ = System(inequalities=[var("x") - var("y")])
+        renamed = sys_.rename({"x": "z"})
+        assert renamed.satisfies({"z": 5, "y": 3})
+
+    def test_constraints_involving(self):
+        sys_ = System(
+            equalities=[var("x") - var("y")],
+            inequalities=[var("z") - 1],
+        )
+        assert len(sys_.constraints_involving("x")) == 1
+        assert len(sys_.constraints_involving("z")) == 1
+        assert sys_.involves("y")
+        assert not sys_.involves("w")
+
+    def test_variables(self):
+        sys_ = System(inequalities=[var("x") + var("y") - 1])
+        assert sys_.variables() == frozenset({"x", "y"})
+
+    def test_str_renders(self):
+        sys_ = System(
+            equalities=[var("x") - 1], inequalities=[var("y")]
+        )
+        text = str(sys_)
+        assert "== 0" in text and ">= 0" in text

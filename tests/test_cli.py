@@ -1,0 +1,72 @@
+"""Command-line driver tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+FIG2 = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "fig2.loop"
+    path.write_text(FIG2)
+    return str(path)
+
+
+class TestCLI:
+    def test_analyze(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "last write trees" in out
+        assert "level 2" in out
+
+    def test_compile_c(self, program_file, capsys):
+        assert main(["compile", program_file, "--block", "i=32"]) == 0
+        out = capsys.readouterr().out
+        assert "send" in out and "receive" in out
+
+    def test_compile_python(self, program_file, capsys):
+        assert (
+            main(
+                ["compile", program_file, "--block", "i=32",
+                 "--emit", "python"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "def node(proc):" in out
+
+    def test_run(self, program_file, capsys):
+        assert (
+            main(
+                ["run", program_file, "--block", "i=32",
+                 "-D", "N=70", "-D", "T=1", "-D", "P=3"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "validated against sequential execution: OK" in out
+        assert "messages:  4" in out
+
+    def test_missing_block_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["compile", program_file])
+
+    def test_no_aggregate_flag(self, program_file, capsys):
+        assert (
+            main(
+                ["compile", program_file, "--block", "i=32",
+                 "--no-aggregate"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "send" in out
