@@ -1,0 +1,84 @@
+"""Reliability overhead: what surviving an unreliable network costs.
+
+Not a paper figure -- the paper assumes the iPSC/860's reliable message
+layer -- but the natural companion to Figure 14 once the runtime gains
+its reliability subsystem: sweep the network drop rate and measure how
+makespan and retransmission traffic grow when the reliable transport
+(ack/retransmit + dedup) keeps the LU case study correct anyway.
+
+Claims under test:
+
+* at drop rate 0 the subsystem is free: identical makespan and message
+  counts to the historical direct channel (zero-overhead default);
+* at every injected rate, the run still validates against sequential
+  execution (the transport hides the faults);
+* overhead grows with the drop rate, and the cost model itemizes it
+  (retransmissions, time parked in retransmission timeouts).
+"""
+
+import pytest
+
+from repro.runtime import FaultPlan, check_against_sequential, run_spmd
+from workloads import IPSC, lu_compiled
+
+PARAMS = {"N": 16, "P": 4}
+DROP_RATES = (0.0, 0.05, 0.10, 0.20)
+FAULT_SEED = 7
+
+
+def sweep(spmd, comps):
+    rows = []
+    clean = run_spmd(spmd, PARAMS, cost=IPSC)
+    for rate in DROP_RATES:
+        plan = (
+            FaultPlan(
+                seed=FAULT_SEED, drop_rate=rate,
+                dup_rate=rate / 2, reorder_rate=rate / 2,
+            )
+            if rate > 0
+            else None
+        )
+        result = check_against_sequential(
+            spmd, comps, PARAMS, cost=IPSC, fault_plan=plan
+        )
+        rows.append(
+            (
+                rate,
+                result.makespan,
+                result.makespan / clean.makespan,
+                result.total_messages,
+                result.stat_sum("retransmissions"),
+                result.stat_sum("duplicates_dropped"),
+                result.stat_sum("timeout_time"),
+            )
+        )
+    return clean, rows
+
+
+def test_fault_overhead(benchmark, report):
+    _program, comps, spmd = lu_compiled()
+    clean, rows = benchmark.pedantic(
+        sweep, args=(spmd, comps), rounds=1, iterations=1
+    )
+
+    report("Reliability overhead on LU (validated at every rate)")
+    report(
+        f"{'drop':>6} {'makespan':>10} {'slowdown':>9} {'msgs':>6} "
+        f"{'retrans':>8} {'dedup':>6} {'timeout-t':>10}"
+    )
+    for rate, makespan, slow, msgs, retrans, dedup, timeout_t in rows:
+        report(
+            f"{rate:>6.0%} {makespan:>10.0f} {slow:>8.2f}x {msgs:>6} "
+            f"{retrans:>8.0f} {dedup:>6.0f} {timeout_t:>10.0f}"
+        )
+
+    # zero-overhead default: the faultless row IS the direct channel
+    rate0 = rows[0]
+    assert rate0[1] == clean.makespan
+    assert rate0[3] == clean.total_messages
+    assert rate0[4] == 0  # no retransmissions
+    # overhead grows with the injected fault rate
+    makespans = [row[1] for row in rows]
+    assert makespans[-1] > makespans[0]
+    retrans = [row[4] for row in rows]
+    assert retrans == sorted(retrans)

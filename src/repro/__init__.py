@@ -21,11 +21,22 @@ from .core import (
 from .dataflow import last_write_tree
 from .decomp import ProcSpace, block, block_loop, cyclic, onto, owner_computes, replicated
 from .lang import parse
-from .runtime import CostModel, Machine, check_against_sequential, run_spmd
+from .runtime import (
+    CostModel,
+    DeadlockError,
+    FaultPlan,
+    Machine,
+    TransportError,
+    check_against_sequential,
+    run_spmd,
+)
 
 __all__ = [
     "CostModel",
+    "DeadlockError",
+    "FaultPlan",
     "Machine",
+    "TransportError",
     "ProcSpace",
     "SPMD",
     "SPMDOptions",

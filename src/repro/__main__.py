@@ -18,6 +18,9 @@ import sys
 from typing import Dict, List
 
 from . import (
+    DeadlockError,
+    FaultPlan,
+    TransportError,
     block_loop,
     check_against_sequential,
     generate_spmd,
@@ -97,16 +100,68 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _rate(text: str) -> float:
+    """argparse type for a probability flag: a float in [0, 1]."""
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a probability in [0, 1], got {text}"
+        )
+    return value
+
+
+def _build_fault_plan(args) -> FaultPlan | None:
+    """CLI fault-injection flags -> a FaultPlan (None when no faults)."""
+    rates = (args.drop_rate, args.dup_rate, args.reorder_rate,
+             args.stall_rate)
+    if not any(rates):
+        return None
+    return FaultPlan(
+        seed=args.fault_seed,
+        drop_rate=args.drop_rate,
+        dup_rate=args.dup_rate,
+        reorder_rate=args.reorder_rate,
+        stall_rate=args.stall_rate,
+    )
+
+
 def cmd_run(args) -> int:
     program = _load(args.program)
     comps = _build_comps(program, args.block)
     spmd = generate_spmd(program, comps)
     params = _parse_defs(args.define)
-    result = check_against_sequential(spmd, comps, params)
+    plan = _build_fault_plan(args)
+    if plan is not None:
+        print(f"injecting faults: {plan.describe()}")
+    try:
+        result = check_against_sequential(
+            spmd,
+            comps,
+            params,
+            fault_plan=plan,
+            reliability=args.reliability,
+            max_retries=args.max_retries,
+        )
+    except (DeadlockError, TransportError) as exc:
+        print(f"run FAILED: {type(exc).__name__}")
+        print(exc)
+        for note in getattr(exc, "__notes__", ()):
+            print(f"  note: {note}")
+        return 2
     print(f"validated against sequential execution: OK")
     print(f"messages:  {result.total_messages}")
     print(f"words:     {result.total_words}")
     print(f"makespan:  {result.makespan:.0f} time units")
+    retrans = result.stat_sum("retransmissions")
+    if plan is not None or retrans:
+        print(
+            f"reliability: {retrans:.0f} retransmissions, "
+            f"{result.stat_sum('acks_lost'):.0f} acks lost, "
+            f"{result.stat_sum('duplicates_dropped'):.0f} duplicates "
+            f"dropped at receivers, "
+            f"{result.stat_sum('timeout_time'):.0f} time units in "
+            f"retransmission timeouts"
+        )
     report = communication_report(
         spmd, {k: v for k, v in params.items() if not k.startswith("P")}
     )
@@ -143,6 +198,39 @@ def main(argv=None) -> int:
     p_run.add_argument(
         "-D", "--define", action="append", metavar="NAME=VALUE",
         help="parameter values (N, T, P, ...)",
+    )
+    rel = p_run.add_argument_group("reliability / fault injection")
+    rel.add_argument(
+        "--drop-rate", type=_rate, default=0.0, metavar="P",
+        help="probability a transmission attempt is lost (default 0)",
+    )
+    rel.add_argument(
+        "--dup-rate", type=_rate, default=0.0, metavar="P",
+        help="probability a delivery is duplicated (default 0)",
+    )
+    rel.add_argument(
+        "--reorder-rate", type=_rate, default=0.0, metavar="P",
+        help="probability a delivery is delayed/reordered (default 0)",
+    )
+    rel.add_argument(
+        "--stall-rate", type=_rate, default=0.0, metavar="P",
+        help="probability of a transient processor stall per comm call",
+    )
+    rel.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed of the deterministic fault plan (default 0)",
+    )
+    rel.add_argument(
+        "--max-retries", type=int, default=10, metavar="N",
+        help="reliable-transport retransmission cap (default 10)",
+    )
+    rel.add_argument(
+        "--reliability",
+        choices=["auto", "direct", "reliable", "unreliable"],
+        default="auto",
+        help="transport: auto = reliable iff faults are injected "
+        "(default), direct = historical exactly-once channel, "
+        "unreliable = raw faulty network with no recovery",
     )
     p_run.set_defaults(fn=cmd_run)
 

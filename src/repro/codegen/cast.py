@@ -398,7 +398,10 @@ class PyEmitter:
     The generated function has signature ``node(proc)`` and relies on
     the :class:`repro.runtime.Processor` API: ``proc.params``,
     ``proc.myp``, ``proc.arrays``, ``proc.execute``, ``proc.send``,
-    ``proc.recv``, ``proc.pack_cost``.
+    ``proc.multicast``, ``proc.recv``, ``proc.recv_mc``, and the
+    ``proc.finish`` completion hook (emitted as the final statement so
+    the runtime's progress monitor can tell a cleanly finished node
+    program from a dead thread when diagnosing deadlocks).
     """
 
     def __init__(self, rank: int, params: Sequence[str]):
@@ -535,6 +538,7 @@ class PyEmitter:
     def source(self, tree: CNode) -> str:
         self.lines = self.header()
         self.emit(tree, 1)
+        self.lines.append("    proc.finish()")
         return "\n".join(self.lines) + "\n"
 
 

@@ -1,13 +1,35 @@
-"""Distributed-memory machine simulator (substitute for the iPSC/860)."""
+"""Distributed-memory machine simulator (substitute for the iPSC/860).
 
-from .collective import CollectiveStats, reorganize
+Layered as a small distributed runtime:
+
+* :mod:`~repro.runtime.machine` -- processors, clocks, cost model;
+* :mod:`~repro.runtime.transport` -- direct / unreliable / reliable
+  message transports (sequence numbers, ack/retransmit, dedup);
+* :mod:`~repro.runtime.faults` -- deterministic fault injection;
+* :mod:`~repro.runtime.diagnostics` -- progress monitoring and
+  structured deadlock reports;
+* :mod:`~repro.runtime.collective` -- all-to-all data reorganization;
+* :mod:`~repro.runtime.validate` -- validation against sequential
+  execution.
+"""
+
+from .collective import CollectiveStats, ReorganizeError, reorganize
+from .diagnostics import DeadlockError, DeadlockReport, ProgressMonitor
+from .faults import FaultPlan
 from .machine import (
     CostModel,
-    DeadlockError,
     Machine,
     ProcStats,
     Processor,
     RunResult,
+)
+from .transport import (
+    DirectTransport,
+    Envelope,
+    ReliableTransport,
+    Transport,
+    TransportError,
+    UnreliableTransport,
 )
 from .validate import check_against_sequential, run_spmd
 
@@ -15,10 +37,20 @@ __all__ = [
     "CollectiveStats",
     "CostModel",
     "DeadlockError",
+    "DeadlockReport",
+    "DirectTransport",
+    "Envelope",
+    "FaultPlan",
     "Machine",
     "ProcStats",
     "Processor",
+    "ProgressMonitor",
+    "ReliableTransport",
+    "ReorganizeError",
     "RunResult",
+    "Transport",
+    "TransportError",
+    "UnreliableTransport",
     "check_against_sequential",
     "reorganize",
     "run_spmd",

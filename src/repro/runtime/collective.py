@@ -21,6 +21,15 @@ from ..decomp import DataDecomp
 from .machine import CostModel
 
 
+class ReorganizeError(Exception):
+    """A reorganization needed a value no source processor holds.
+
+    Raised instead of silently shipping a NaN-poisoned element (the
+    simulator NaN-poisons every non-resident location, so forwarding
+    one would corrupt the destination undetectably until validation).
+    """
+
+
 @dataclass
 class CollectiveStats:
     """Traffic and time of one reorganization."""
@@ -46,9 +55,15 @@ def reorganize(
     Mutates the per-processor arrays in place: every element present
     under ``from_decomp`` is delivered to every physical processor that
     owns it under ``to_decomp``.  Elements already resident locally
-    (source and destination co-located) move for free; the rest are
-    batched into one message per (source, destination) pair -- the
-    collective routine's behaviour.
+    (the destination holds a real, non-NaN copy) move for free; the
+    rest are batched into one message per (source, destination) pair --
+    the collective routine's behaviour.
+
+    Residency is verified against the data, not just the nominal
+    layout: the simulator NaN-poisons never-communicated locations, so
+    the transfer source is the first *materialized* owner copy, and a
+    :class:`ReorganizeError` names any element that some destination
+    needs but no processor actually holds.
 
     The elapsed estimate assumes all pairs proceed in parallel: the
     slowest (largest) transfer plus one startup, the standard model for
@@ -72,11 +87,40 @@ def reorganize(
             physical(to_decomp, o)
             for o in to_decomp.owners(element, params)
         }
-        src = sources[0]
+        # a destination already holding a (non-poisoned) copy moves for
+        # free; residency is checked against the actual value, not the
+        # nominal old-layout ownership, so a replicated-but-never-
+        # materialized copy is not mistaken for the data
+        needed = [
+            dst
+            for dst in dests
+            if np.isnan(arrays_by_proc[dst][array_name][element])
+        ]
+        if not needed:
+            continue
+        # prefer a source that actually holds the value: forwarding a
+        # NaN-poisoned copy would silently corrupt the destination
+        src = None
+        for candidate in sources:
+            if not np.isnan(arrays_by_proc[candidate][array_name][element]):
+                src = candidate
+                break
+        if src is None:
+            # destinations that owned the element under the old layout
+            # simply never materialized it -- both layouts agree it is
+            # theirs, so there is nothing to move; anyone else needed a
+            # value nobody holds
+            orphans = [dst for dst in needed if dst not in sources]
+            if not orphans:
+                continue
+            raise ReorganizeError(
+                f"no source holds {array_name}{list(element)}: owners "
+                f"{sorted(set(sources))} under the old layout all hold "
+                f"NaN (never written/communicated); cannot deliver it "
+                f"to {sorted(orphans)}"
+            )
         value = arrays_by_proc[src][array_name][element]
-        for dst in dests:
-            if dst in sources:
-                continue  # already resident under the old layout
+        for dst in needed:
             arrays_by_proc[dst][array_name][element] = value
             stats.per_pair[(src, dst)] = (
                 stats.per_pair.get((src, dst), 0) + 1

@@ -1,0 +1,267 @@
+"""Progress monitoring and deadlock diagnostics for the simulator.
+
+The original runtime detected a stuck node program only by waiting out
+a wall-clock timeout inside ``Processor.recv`` -- slow (the default
+budget is a minute) and uninformative (one processor's view).  This
+module replaces that with a *central wait-for audit*, the standard
+distributed-runtime construction:
+
+* every processor registers with the monitor when it blocks in
+  ``recv`` (and deregisters when it wakes or exits);
+* the machine's transport reports every message entering the network
+  (``record_delivery``) and every message leaving a mailbox
+  (``record_dequeued``), so the monitor tracks the global *in-flight*
+  count exactly;
+* **true deadlock** -- every live processor blocked in ``recv`` while
+  the in-flight set is empty -- is therefore detectable the instant the
+  last processor blocks, by the blocking processor itself, with no
+  timers involved.  The detecting thread builds a structured
+  :class:`DeadlockReport` and wakes every blocked peer with a poison
+  pill so the whole machine fails fast (milliseconds, not the
+  wall-clock timeout).
+
+The report carries what an operator actually needs: each processor's
+model clock, the tag it is waiting for, what is sitting unread in its
+stash, and a global send/recv audit (which deliveries were never
+consumed, which sends the network dropped outright).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "DeadlockError",
+    "DeadlockReport",
+    "ProcSnapshot",
+    "ProgressMonitor",
+    "WAKE",
+]
+
+
+class DeadlockError(Exception):
+    """The node program cannot make progress.
+
+    Carries an optional :class:`DeadlockReport` (``.report``) when the
+    failure was diagnosed by the progress monitor rather than by a
+    wall-clock timeout.
+    """
+
+    def __init__(self, message: str, report: "DeadlockReport | None" = None):
+        if report is not None:
+            message = f"{message}\n{report.format()}"
+        super().__init__(message)
+        self.report = report
+
+
+class _WakeSignal:
+    """Poison pill pushed into blocked mailboxes on deadlock."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<deadlock wake signal>"
+
+
+#: singleton instance; ``Processor.recv`` checks identity against it.
+WAKE = _WakeSignal()
+
+
+@dataclass
+class ProcSnapshot:
+    """One processor's state at diagnosis time."""
+
+    myp: Tuple[int, ...]
+    clock: float
+    state: str  # 'blocked' | 'finished' | 'failed' | 'running'
+    waiting_tag: Optional[tuple]
+    stash_tags: List[tuple]
+
+
+@dataclass
+class DeadlockReport:
+    """Structured description of a no-progress state."""
+
+    procs: List[ProcSnapshot]
+    in_flight: int
+    sends_delivered: int
+    sends_dropped: int
+    recvs_completed: int
+    #: delivered (src, dest, tag) triples the destination never recv'd
+    unmatched_sends: List[Tuple[Tuple[int, ...], Tuple[int, ...], tuple]]
+    #: (src, dest, tag) triples the network dropped on every attempt
+    dropped_sends: List[Tuple[Tuple[int, ...], Tuple[int, ...], tuple]]
+
+    @property
+    def blocked(self) -> List[ProcSnapshot]:
+        return [p for p in self.procs if p.state == "blocked"]
+
+    @property
+    def pending_tags(self) -> Dict[Tuple[int, ...], tuple]:
+        return {p.myp: p.waiting_tag for p in self.blocked}
+
+    def format(self, max_items: int = 8) -> str:
+        lines = [
+            f"deadlock audit: {len(self.blocked)} processor(s) blocked in "
+            f"recv, {self.in_flight} message(s) in flight"
+        ]
+        for snap in sorted(self.procs, key=lambda s: s.myp):
+            stash = ", ".join(map(str, snap.stash_tags[:max_items]))
+            if len(snap.stash_tags) > max_items:
+                stash += f", ... (+{len(snap.stash_tags) - max_items})"
+            desc = (
+                f"  processor {snap.myp}: clock={snap.clock:.1f} "
+                f"state={snap.state}"
+            )
+            if snap.state == "blocked":
+                desc += f" waiting-on={snap.waiting_tag}"
+            desc += f" stash=[{stash}]"
+            lines.append(desc)
+        lines.append(
+            f"  audit: {self.sends_delivered} delivered, "
+            f"{self.recvs_completed} received, "
+            f"{self.sends_dropped} dropped by the network"
+        )
+        for label, triples in (
+            ("delivered but never received", self.unmatched_sends),
+            ("dropped by the network", self.dropped_sends),
+        ):
+            if not triples:
+                continue
+            lines.append(f"  {label}:")
+            for src, dest, tag in triples[:max_items]:
+                lines.append(f"    {src} -> {dest} tag={tag}")
+            if len(triples) > max_items:
+                lines.append(f"    ... (+{len(triples) - max_items})")
+        return "\n".join(lines)
+
+
+class ProgressMonitor:
+    """Central wait-for audit over one :class:`~.machine.Machine` run.
+
+    Thread-safe; every mutation happens under one lock, and the
+    deadlock test runs inside the same critical section as the state
+    change that could complete it, so detection is race-free.
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._lock = threading.Lock()
+        self.reset(total=None)
+
+    def reset(self, total: Optional[int]) -> None:
+        """Arm the monitor for a run of ``total`` processors (``None``
+        disables detection: bookkeeping only, e.g. manual harnesses)."""
+        self.total = total
+        self.blocked: Dict[Tuple[int, ...], tuple] = {}
+        self.finished: set = set()
+        self.failed: set = set()
+        self.in_flight = 0
+        self.deadlocked = threading.Event()
+        self.report: Optional[DeadlockReport] = None
+        self._sends: List[tuple] = []  # (src, dest, tag, delivered)
+        self._recvs: List[tuple] = []  # (dest, tag)
+
+    # -- transport-side bookkeeping -----------------------------------------
+
+    def record_send(self, src, dest, tag, delivered: bool) -> None:
+        """One *logical* message's fate (after any retransmissions)."""
+        with self._lock:
+            self._sends.append((tuple(src), tuple(dest), tag, delivered))
+
+    def record_delivery(self) -> None:
+        """A physical copy entered some mailbox."""
+        with self._lock:
+            self.in_flight += 1
+
+    def record_dequeued(self) -> None:
+        """A physical copy left a mailbox (stashed or dedup-dropped)."""
+        with self._lock:
+            self.in_flight -= 1
+
+    def record_recv(self, dest, tag) -> None:
+        """The node program consumed a message."""
+        with self._lock:
+            self._recvs.append((tuple(dest), tag))
+
+    # -- processor lifecycle -------------------------------------------------
+
+    def block(self, myp: Tuple[int, ...], tag: tuple) -> None:
+        """``myp`` is about to wait for ``tag``; may diagnose deadlock."""
+        with self._lock:
+            self.blocked[myp] = tag
+            self._check_locked()
+
+    def unblock(self, myp: Tuple[int, ...]) -> None:
+        with self._lock:
+            self.blocked.pop(myp, None)
+
+    def finish(self, myp: Tuple[int, ...], clean: bool = True) -> None:
+        """``myp``'s thread exited (cleanly or with an error); a death
+        can complete a deadlock for the survivors, so re-check."""
+        with self._lock:
+            self.blocked.pop(myp, None)
+            self.finished.add(myp)
+            if not clean:
+                self.failed.add(myp)
+            self._check_locked()
+
+    # -- detection -----------------------------------------------------------
+
+    def _check_locked(self) -> None:
+        if self.total is None or self.deadlocked.is_set():
+            return
+        if not self.blocked or self.in_flight != 0:
+            return
+        if len(self.blocked) + len(self.finished) < self.total:
+            return  # somebody is still computing
+        self.report = self._build_report_locked()
+        self.deadlocked.set()
+        for myp in self.blocked:
+            self.machine.procs[myp].mailbox.put(WAKE)
+
+    def build_report(self) -> DeadlockReport:
+        """Snapshot for timeout paths (no deadlock proven)."""
+        with self._lock:
+            return self._build_report_locked()
+
+    def _build_report_locked(self) -> DeadlockReport:
+        received = {(d, t) for d, t in self._recvs}
+        unmatched, dropped = [], []
+        delivered_n = dropped_n = 0
+        for src, dest, tag, delivered in self._sends:
+            if delivered:
+                delivered_n += 1
+                if (dest, tag) not in received:
+                    unmatched.append((src, dest, tag))
+            else:
+                dropped_n += 1
+                dropped.append((src, dest, tag))
+        procs = []
+        for myp, proc in self.machine.procs.items():
+            if myp in self.blocked:
+                state = "blocked"
+            elif myp in self.failed:
+                state = "failed"
+            elif myp in self.finished:
+                state = "finished"
+            else:
+                state = "running"
+            procs.append(
+                ProcSnapshot(
+                    myp=myp,
+                    clock=proc.clock,
+                    state=state,
+                    waiting_tag=self.blocked.get(myp),
+                    stash_tags=sorted(proc._stash, key=repr),
+                )
+            )
+        return DeadlockReport(
+            procs=procs,
+            in_flight=self.in_flight,
+            sends_delivered=delivered_n,
+            sends_dropped=dropped_n,
+            recvs_completed=len(self._recvs),
+            unmatched_sends=unmatched,
+            dropped_sends=dropped,
+        )

@@ -1,0 +1,179 @@
+"""Deterministic, seed-driven fault injection for the machine simulator.
+
+The iPSC/860's message layer presents reliable, ordered point-to-point
+channels to the node program; the generated SPMD code (and the paper)
+assume them.  Real substrates are not so kind.  This module models an
+*unreliable network* underneath the simulator so the transport layer
+(:mod:`repro.runtime.transport`) can be exercised -- and so benchmarks
+can quantify what reliability costs.
+
+Every fault decision is a pure function of ``(seed, kind, src, dest,
+tag, attempt)`` hashed through BLAKE2b, so a run's fault pattern is
+
+* **reproducible**: the same seed gives the same drops/duplicates/
+  delays regardless of thread scheduling or wall-clock timing;
+* **independent per message**: decisions are i.i.d. uniform variates,
+  one stream per decision kind, with no shared-RNG ordering hazards
+  between processor threads.
+
+Fault classes modeled (all optional, all off by default):
+
+``drop_rate``
+    probability a transmission attempt is lost in the network;
+``ack_drop_rate``
+    probability the acknowledgement for a *delivered* attempt is lost
+    (defaults to ``drop_rate``; forces spurious retransmission and
+    exercises receiver-side dedup);
+``dup_rate``
+    probability a delivered attempt is duplicated by the network;
+``reorder_rate`` / ``max_delay``
+    probability a delivered attempt is delayed by up to ``max_delay``
+    model-time units, arriving out of order relative to later sends;
+``stall_rate`` / ``stall_time``
+    probability a processor suffers a transient stall (OS jitter,
+    contention) at a communication call, costing about ``stall_time``
+    model-time units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Tuple
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of network/processor faults.
+
+    All rates are probabilities in ``[0, 1]``; delays and stalls are in
+    the simulator's abstract time units (same scale as
+    :class:`~repro.runtime.machine.CostModel`).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    max_delay: float = 400.0
+    ack_drop_rate: float | None = None
+    stall_rate: float = 0.0
+    stall_time: float = 200.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "reorder_rate", "stall_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.ack_drop_rate is not None and not 0.0 <= self.ack_drop_rate <= 1.0:
+            raise ValueError(
+                f"ack_drop_rate must be in [0, 1], got {self.ack_drop_rate!r}"
+            )
+        if self.max_delay < 0 or self.stall_time < 0:
+            raise ValueError("max_delay and stall_time must be non-negative")
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def effective_ack_drop_rate(self) -> float:
+        if self.ack_drop_rate is None:
+            return self.drop_rate
+        return self.ack_drop_rate
+
+    @property
+    def any_network_faults(self) -> bool:
+        return (
+            self.drop_rate > 0
+            or self.dup_rate > 0
+            or self.reorder_rate > 0
+            or self.effective_ack_drop_rate > 0
+        )
+
+    # -- the deterministic variate stream -----------------------------------
+
+    def _frac(self, kind: str, *key) -> float:
+        """Uniform variate in [0, 1) for one (kind, key) decision."""
+        material = repr((self.seed, kind) + key).encode()
+        digest = blake2b(material, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
+
+    # -- per-attempt network decisions --------------------------------------
+
+    def drops(
+        self,
+        src: Tuple[int, ...],
+        dest: Tuple[int, ...],
+        tag: tuple,
+        attempt: int,
+    ) -> bool:
+        """Is this transmission attempt lost in the network?"""
+        return self._frac("drop", src, dest, tag, attempt) < self.drop_rate
+
+    def drops_ack(
+        self,
+        src: Tuple[int, ...],
+        dest: Tuple[int, ...],
+        tag: tuple,
+        attempt: int,
+    ) -> bool:
+        """Is the acknowledgement for this delivered attempt lost?"""
+        return (
+            self._frac("ack", src, dest, tag, attempt)
+            < self.effective_ack_drop_rate
+        )
+
+    def duplicates(
+        self,
+        src: Tuple[int, ...],
+        dest: Tuple[int, ...],
+        tag: tuple,
+        attempt: int,
+    ) -> bool:
+        """Does the network deliver a second copy of this attempt?"""
+        return self._frac("dup", src, dest, tag, attempt) < self.dup_rate
+
+    def delay(
+        self,
+        src: Tuple[int, ...],
+        dest: Tuple[int, ...],
+        tag: tuple,
+        attempt: int,
+    ) -> float:
+        """Extra wire time for this attempt (0.0 when not reordered)."""
+        if self._frac("reorder", src, dest, tag, attempt) >= self.reorder_rate:
+            return 0.0
+        return self._frac("delay", src, dest, tag, attempt) * self.max_delay
+
+    # -- per-processor stalls ------------------------------------------------
+
+    def stall(self, myp: Tuple[int, ...], op_index: int) -> float:
+        """Transient stall injected at this processor's op_index-th
+        communication call (0.0 when no stall fires)."""
+        if self._frac("stall", myp, op_index) >= self.stall_rate:
+            return 0.0
+        jitter = self._frac("stall-amount", myp, op_index)
+        return self.stall_time * (0.5 + jitter)
+
+    # -- presentation --------------------------------------------------------
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate:.0%}")
+        if self.effective_ack_drop_rate and self.ack_drop_rate is not None:
+            parts.append(f"ack-drop={self.effective_ack_drop_rate:.0%}")
+        if self.dup_rate:
+            parts.append(f"dup={self.dup_rate:.0%}")
+        if self.reorder_rate:
+            parts.append(
+                f"reorder={self.reorder_rate:.0%} (<= {self.max_delay:g}t)"
+            )
+        if self.stall_rate:
+            parts.append(
+                f"stall={self.stall_rate:.0%} (~{self.stall_time:g}t)"
+            )
+        if len(parts) == 1:
+            parts.append("no faults")
+        return "FaultPlan(" + ", ".join(parts) + ")"

@@ -18,23 +18,46 @@ receiver stalls until the data exist.  The makespan (max final clock)
 reproduces exactly the phenomena Figure 14 measures: communication
 overhead, pipeline stalls, and overlap of communication with
 computation.
+
+Reliability layers (see DESIGN.md "Runtime reliability"):
+
+* messages travel through a pluggable :class:`~.transport.Transport`
+  (`direct` = the historical exactly-once channel, `unreliable` = a
+  fault-injected raw network, `reliable` = ack/retransmit ARQ that
+  survives the faults);
+* faults come from a deterministic :class:`~.faults.FaultPlan`;
+* a central :class:`~.diagnostics.ProgressMonitor` detects true
+  deadlock (all live processors blocked in ``recv`` with an empty
+  in-flight set) instantly and reports it with a structured audit,
+  instead of waiting out the wall-clock timeout.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from ..decomp import DataDecomp, ProcSpace
 from ..ir import Program, allocate_arrays
+from .diagnostics import WAKE, DeadlockError, ProgressMonitor
+from .faults import FaultPlan
+from .transport import (
+    DirectTransport,
+    Envelope,
+    ReliableTransport,
+    Transport,
+    UnreliableTransport,
+)
 
-
-class DeadlockError(Exception):
-    """A processor waited too long for a message."""
+try:  # Python >= 3.11
+    _ExceptionGroup = BaseExceptionGroup
+except NameError:  # pragma: no cover - Python 3.10 fallback
+    _ExceptionGroup = None
 
 
 @dataclass
@@ -61,6 +84,14 @@ class ProcStats:
     compute_time: float = 0.0
     stall_time: float = 0.0
     multicasts: int = 0
+    # -- reliability-layer accounting (all zero on the default path) --------
+    retransmissions: int = 0
+    duplicates_sent: int = 0
+    duplicates_dropped: int = 0
+    acks_lost: int = 0
+    messages_lost: int = 0
+    timeout_time: float = 0.0
+    fault_stall_time: float = 0.0
 
 
 @dataclass
@@ -95,6 +126,11 @@ class Processor:
         self._stash: Dict[tuple, Tuple[List[float], float]] = {}
         self._mc_cache: Dict[tuple, List[float]] = {}
         self._stmts = {s.name: s for s in machine.program.statements()}
+        # reliability-layer state: per-destination sequence counters at
+        # the sender, per-source seen-sequence sets at the receiver
+        self._next_seq: Dict[Tuple[int, ...], int] = {}
+        self._seen_seqs: set = set()
+        self._op_index = 0
 
     # -- node program API ---------------------------------------------------
 
@@ -110,12 +146,8 @@ class Processor:
         self.stats.compute_time += cost
 
     def send(self, dest: Tuple[int, ...], tag: tuple, payload: List[float]):
-        cost = self.machine.cost
-        self.clock += cost.alpha + cost.beta * len(payload)
-        self.stats.messages_sent += 1
-        self.stats.words_sent += len(payload)
-        arrival = self.clock + cost.latency
-        self.machine.deliver(dest, tag, list(payload), arrival)
+        self._maybe_stall()
+        self.machine.transport.send(self, dest, tag, payload)
 
     def multicast(
         self,
@@ -124,34 +156,52 @@ class Processor:
         payload: List[float],
     ) -> None:
         """Optimized multi-cast: one startup, per-destination wire cost."""
-        if not dests:
-            return
-        cost = self.machine.cost
-        self.clock += cost.alpha + cost.beta * len(payload)
-        self.stats.multicasts += 1
-        for dest in dests:
-            self.stats.messages_sent += 1
-            self.stats.words_sent += len(payload)
-            arrival = self.clock + cost.latency
-            self.machine.deliver(dest, tag, list(payload), arrival)
+        self._maybe_stall()
+        self.machine.transport.multicast(self, dests, tag, payload)
 
     def recv(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
         # ``src`` is advisory (kept for readable generated code); the tag
         # alone identifies the message -- it embeds the virtual sender.
-        deadline = self.machine.timeout
+        self._maybe_stall()
+        machine = self.machine
+        monitor = machine.monitor
+        # one absolute deadline for the whole wait: pulling unrelated
+        # messages must not keep granting a fresh full timeout
+        deadline = time.monotonic() + machine.timeout
         while tag not in self._stash:
+            monitor.block(self.myp, tag)
             try:
-                _src, msg_tag, payload, arrival = self.mailbox.get(
-                    timeout=deadline
-                )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise queue.Empty
+                envelope = self.mailbox.get(timeout=remaining)
             except queue.Empty:
+                monitor.unblock(self.myp)
                 raise DeadlockError(
-                    f"processor {self.myp} waited on {tag}; has "
-                    f"{list(self._stash)[:5]}"
+                    f"processor {self.myp} waited {machine.timeout:g}s "
+                    f"(wall clock) on {tag}",
+                    report=monitor.build_report(),
                 ) from None
-            self._stash[msg_tag] = (payload, arrival)
+            monitor.unblock(self.myp)
+            if envelope is WAKE:
+                raise DeadlockError(
+                    f"deadlock: processor {self.myp} waits on {tag}, which "
+                    f"no in-flight or future message can satisfy",
+                    report=monitor.report,
+                )
+            monitor.record_dequeued()
+            if envelope.seq is not None:
+                seen_key = (envelope.src, envelope.seq)
+                if seen_key in self._seen_seqs:
+                    # retransmitted/duplicated copy of a message we
+                    # already hold: the protocol discards it
+                    self.stats.duplicates_dropped += 1
+                    continue
+                self._seen_seqs.add(seen_key)
+            self._stash[envelope.tag] = (envelope.payload, envelope.arrival)
         payload, arrival = self._stash.pop(tag)
-        cost = self.machine.cost
+        monitor.record_recv(self.myp, tag)
+        cost = machine.cost
         ready = self.clock + cost.recv_overhead
         if arrival > ready:
             self.stats.stall_time += arrival - ready
@@ -175,9 +225,44 @@ class Processor:
     def tick(self, amount: float) -> None:
         self.clock += amount
 
+    def finish(self) -> None:
+        """Mark this processor's node program complete.
+
+        Emitted at the end of generated node programs; lets the
+        progress monitor distinguish a clean completion from a thread
+        that died, and lets a peer's death complete a deadlock
+        diagnosis for the survivors.  Idempotent.
+        """
+        self.machine.monitor.finish(self.myp, clean=True)
+
+    # -- reliability-layer internals ----------------------------------------
+
+    def next_seq(self, dest: Tuple[int, ...]) -> int:
+        seq = self._next_seq.get(dest, 0)
+        self._next_seq[dest] = seq + 1
+        return seq
+
+    def _maybe_stall(self) -> None:
+        plan = self.machine.fault_plan
+        self._op_index += 1
+        if plan is None or plan.stall_rate <= 0:
+            return
+        stall = plan.stall(self.myp, self._op_index)
+        if stall > 0:
+            self.clock += stall
+            self.stats.fault_stall_time += stall
+
 
 class Machine:
-    """P processors with private memories and tagged channels."""
+    """P processors with private memories and tagged channels.
+
+    ``reliability`` selects the transport: ``"auto"``/``None`` picks
+    the reliable ARQ exactly when a fault plan injects network faults
+    (and the zero-overhead direct channel otherwise), ``"direct"``,
+    ``"reliable"`` and ``"unreliable"`` force a specific transport
+    (booleans are accepted: ``True`` = reliable, ``False`` = raw).
+    An explicit ``transport`` instance overrides the selection.
+    """
 
     def __init__(
         self,
@@ -186,6 +271,12 @@ class Machine:
         params: Mapping[str, int],
         cost: Optional[CostModel] = None,
         timeout: float = 60.0,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Union[str, bool, None] = None,
+        max_retries: int = 10,
+        rto: Optional[float] = None,
+        backoff: float = 2.0,
+        transport: Optional[Transport] = None,
     ):
         self.program = program
         self.space = space
@@ -193,18 +284,50 @@ class Machine:
         self.pshape = space.physical_shape(self.params)
         self.cost = cost or CostModel()
         self.timeout = timeout
+        self.fault_plan = fault_plan
         self.procs: Dict[Tuple[int, ...], Processor] = {}
+        self.monitor = ProgressMonitor(self)
+        self.transport = transport or self._select_transport(
+            reliability, max_retries, rto, backoff
+        )
 
-    def deliver(
+    def _select_transport(
         self,
-        dest: Tuple[int, ...],
-        tag: tuple,
-        payload: List[float],
-        arrival: float,
-    ) -> None:
-        proc = self.procs[tuple(dest)]
-        src_tag = tag  # tag already unique per message
-        proc.mailbox.put((None, src_tag, payload, arrival))
+        reliability: Union[str, bool, None],
+        max_retries: int,
+        rto: Optional[float],
+        backoff: float,
+    ) -> Transport:
+        if isinstance(reliability, bool):
+            reliability = "reliable" if reliability else (
+                "unreliable" if self.fault_plan else "direct"
+            )
+        mode = reliability or "auto"
+        if mode == "auto":
+            if self.fault_plan is not None and (
+                self.fault_plan.any_network_faults
+            ):
+                mode = "reliable"
+            else:
+                mode = "direct"
+        if mode == "direct":
+            return DirectTransport()
+        if mode == "unreliable":
+            if self.fault_plan is None:
+                return DirectTransport()  # nothing to inject
+            return UnreliableTransport(self.fault_plan)
+        if mode == "reliable":
+            return ReliableTransport(
+                plan=self.fault_plan,
+                max_retries=max_retries,
+                rto=rto,
+                backoff=backoff,
+            )
+        raise ValueError(f"unknown reliability mode: {reliability!r}")
+
+    def deliver(self, dest: Tuple[int, ...], envelope: Envelope) -> None:
+        self.monitor.record_delivery()
+        self.procs[tuple(dest)].mailbox.put(envelope)
 
     def initial_arrays(
         self,
@@ -247,13 +370,20 @@ class Machine:
             )
             for myp in coords
         }
-        errors: List[BaseException] = []
+        self.monitor.reset(total=len(self.procs))
+        failures: List[Tuple[Tuple[int, ...], BaseException]] = []
+        failures_lock = threading.Lock()
 
         def runner(proc: Processor):
+            clean = False
             try:
                 node_fn(proc)
+                clean = True
             except BaseException as exc:  # noqa: BLE001 - surfaced below
-                errors.append(exc)
+                with failures_lock:
+                    failures.append((proc.myp, exc))
+            finally:
+                self.monitor.finish(proc.myp, clean=clean)
 
         threads = [
             threading.Thread(target=runner, args=(proc,), daemon=True)
@@ -264,9 +394,11 @@ class Machine:
         for t in threads:
             t.join(timeout=self.timeout * 4)
             if t.is_alive():
-                raise DeadlockError("node program did not terminate")
-        if errors:
-            raise errors[0]
+                raise DeadlockError(
+                    "node program did not terminate",
+                    report=self.monitor.build_report(),
+                )
+        self._raise_failures(failures)
         stats = {myp: proc.stats for myp, proc in self.procs.items()}
         return RunResult(
             arrays={myp: proc.arrays for myp, proc in self.procs.items()},
@@ -274,4 +406,38 @@ class Machine:
             makespan=max(proc.clock for proc in self.procs.values()),
             total_messages=sum(s.messages_sent for s in stats.values()),
             total_words=sum(s.words_sent for s in stats.values()),
+        )
+
+    def _raise_failures(
+        self, failures: List[Tuple[Tuple[int, ...], BaseException]]
+    ) -> None:
+        """Surface every per-processor failure, with its coordinate.
+
+        Deadlock is a *machine-level* condition (the monitor's report
+        covers all processors), so a pure-deadlock run raises a single
+        representative ``DeadlockError``.  A single root-cause failure
+        is raised directly, annotated with any consequent deadlocks;
+        multiple distinct failures raise one ``ExceptionGroup``.
+        """
+        if not failures:
+            return
+        for myp, exc in failures:
+            if hasattr(exc, "add_note"):
+                exc.add_note(f"raised on processor {myp}")
+        deadlocks = [e for _, e in failures if isinstance(e, DeadlockError)]
+        others = [e for _, e in failures if not isinstance(e, DeadlockError)]
+        if not others:
+            raise deadlocks[0]
+        if len(others) == 1:
+            root = others[0]
+            if deadlocks and hasattr(root, "add_note"):
+                root.add_note(
+                    f"{len(deadlocks)} other processor(s) deadlocked "
+                    f"waiting for the failed processor"
+                )
+            raise root
+        if _ExceptionGroup is None:  # pragma: no cover - Python 3.10
+            raise others[0]
+        raise _ExceptionGroup(
+            f"{len(others)} processors failed", others + deadlocks
         )

@@ -1,0 +1,269 @@
+"""Message transports: how node-program sends traverse the network.
+
+The paper's node programs target the iPSC/860 message layer, which
+guarantees reliable, ordered delivery; ``Processor.send/recv`` used to
+hard-code that assumption.  This module extracts the policy into
+pluggable transports so the same generated SPMD code runs over three
+substrates:
+
+:class:`DirectTransport`
+    The historical behaviour, bit-for-bit: every send is delivered
+    exactly once with the LogGP cost accounting the simulator has
+    always charged.  The default; adds **zero** overhead or behaviour
+    change when no faults are configured.
+
+:class:`UnreliableTransport`
+    A raw faulty network driven by a :class:`~.faults.FaultPlan`:
+    sends may be dropped, duplicated or delayed with **no** recovery.
+    Exists to demonstrate what the generated code's assumptions cost on
+    real hardware -- lost messages surface as instant, fully diagnosed
+    deadlocks via :mod:`repro.runtime.diagnostics`.
+
+:class:`ReliableTransport`
+    A stop-and-wait ARQ in the style of every real reliable layer:
+    per-channel **sequence numbers**, positive acknowledgements,
+    **retransmission** on timeout with exponential backoff and a retry
+    cap, and **receiver-side dedup** (a retransmitted or duplicated
+    copy of an already-seen sequence number is discarded).  All
+    recovery work is charged to the cost model -- retransmissions pay
+    the full per-message cost and each timeout stalls the sender by the
+    current RTO -- so benchmarks can quantify the price of reliability
+    (``benchmarks/bench_fault_overhead.py``).
+
+Determinism: fault decisions come from the :class:`~.faults.FaultPlan`
+hash stream, and recovery is simulated *synchronously in the sending
+processor's thread* (the plan tells us, reproducibly, which attempt
+succeeds), so results are identical across thread schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .faults import FaultPlan
+
+__all__ = [
+    "DirectTransport",
+    "Envelope",
+    "ReliableTransport",
+    "Transport",
+    "TransportError",
+    "UnreliableTransport",
+]
+
+
+class TransportError(Exception):
+    """A message could not be confirmed within the retry cap."""
+
+
+@dataclass
+class Envelope:
+    """One physical copy of a message on the wire.
+
+    ``seq`` is ``None`` for transports without a reliability protocol;
+    reliable envelopes carry a per-(src, dest) sequence number the
+    receiver uses for dedup.
+    """
+
+    src: Tuple[int, ...]
+    seq: Optional[int]
+    tag: tuple
+    payload: List[float]
+    arrival: float
+
+
+class Transport:
+    """Base class: charge the sender, hand envelopes to the machine."""
+
+    #: printable name, used by the CLI and reports
+    name = "abstract"
+
+    def send(self, proc, dest, tag, payload) -> None:
+        raise NotImplementedError
+
+    def multicast(self, proc, dests, tag, payload) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _charge_startup(proc, payload) -> None:
+        cost = proc.machine.cost
+        proc.clock += cost.alpha + cost.beta * len(payload)
+
+    @staticmethod
+    def _count(proc, payload) -> None:
+        proc.stats.messages_sent += 1
+        proc.stats.words_sent += len(payload)
+
+
+class DirectTransport(Transport):
+    """The iPSC assumption: exactly-once, in-order, never fails."""
+
+    name = "direct"
+
+    def send(self, proc, dest, tag, payload) -> None:
+        machine = proc.machine
+        self._charge_startup(proc, payload)
+        self._count(proc, payload)
+        arrival = proc.clock + machine.cost.latency
+        machine.deliver(
+            dest, Envelope(proc.myp, None, tag, list(payload), arrival)
+        )
+        machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
+
+    def multicast(self, proc, dests, tag, payload) -> None:
+        if not dests:
+            return
+        machine = proc.machine
+        self._charge_startup(proc, payload)
+        proc.stats.multicasts += 1
+        for dest in dests:
+            self._count(proc, payload)
+            arrival = proc.clock + machine.cost.latency
+            machine.deliver(
+                dest, Envelope(proc.myp, None, tag, list(payload), arrival)
+            )
+            machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
+
+
+class UnreliableTransport(Transport):
+    """A faulty network with no recovery protocol at all."""
+
+    name = "unreliable"
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def send(self, proc, dest, tag, payload) -> None:
+        self._charge_startup(proc, payload)
+        self._count(proc, payload)
+        self._cast(proc, dest, tag, list(payload))
+
+    def multicast(self, proc, dests, tag, payload) -> None:
+        if not dests:
+            return
+        self._charge_startup(proc, payload)
+        proc.stats.multicasts += 1
+        for dest in dests:
+            self._count(proc, payload)
+            self._cast(proc, dest, tag, list(payload))
+
+    def _cast(self, proc, dest, tag, payload) -> None:
+        machine, plan = proc.machine, self.plan
+        if plan.drops(proc.myp, dest, tag, 0):
+            proc.stats.messages_lost += 1
+            machine.monitor.record_send(proc.myp, dest, tag, delivered=False)
+            return
+        delay = plan.delay(proc.myp, dest, tag, 0)
+        arrival = proc.clock + machine.cost.latency + delay
+        machine.deliver(dest, Envelope(proc.myp, None, tag, payload, arrival))
+        if plan.duplicates(proc.myp, dest, tag, 0):
+            proc.stats.duplicates_sent += 1
+            machine.deliver(
+                dest,
+                Envelope(
+                    proc.myp, None, tag, payload,
+                    arrival + machine.cost.latency,
+                ),
+            )
+        machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
+
+
+class ReliableTransport(Transport):
+    """Stop-and-wait ARQ over an (optionally) faulty network.
+
+    ``rto`` is the initial retransmission timeout in model-time units;
+    when ``None`` it is derived from the machine's cost model as one
+    full round trip (``2*latency + recv_overhead + alpha``).  Each
+    failed attempt stalls the sender by the current RTO and doubles it
+    (``backoff``); after ``max_retries`` retransmissions without an
+    acknowledged delivery the sender raises :class:`TransportError`.
+    """
+
+    name = "reliable"
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        max_retries: int = 10,
+        rto: Optional[float] = None,
+        backoff: float = 2.0,
+    ):
+        self.plan = plan
+        self.max_retries = max_retries
+        self.rto = rto
+        self.backoff = backoff
+
+    def send(self, proc, dest, tag, payload) -> None:
+        self._charge_startup(proc, payload)
+        self._count(proc, payload)
+        self._transmit(proc, dest, tag, list(payload))
+
+    def multicast(self, proc, dests, tag, payload) -> None:
+        if not dests:
+            return
+        self._charge_startup(proc, payload)
+        proc.stats.multicasts += 1
+        for dest in dests:
+            self._count(proc, payload)
+            self._transmit(proc, dest, tag, list(payload))
+
+    def _initial_rto(self, cost) -> float:
+        if self.rto is not None:
+            return self.rto
+        return 2.0 * cost.latency + cost.recv_overhead + cost.alpha
+
+    def _transmit(self, proc, dest, tag, payload) -> None:
+        machine, plan = proc.machine, self.plan
+        cost, monitor = machine.cost, machine.monitor
+        seq = proc.next_seq(dest)
+        rto = self._initial_rto(cost)
+        delivered_once = False
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                # the retransmission pays full message cost again
+                proc.stats.retransmissions += 1
+                proc.clock += cost.alpha + cost.beta * len(payload)
+            dropped = plan is not None and plan.drops(
+                proc.myp, dest, tag, attempt
+            )
+            if not dropped:
+                delay = (
+                    plan.delay(proc.myp, dest, tag, attempt) if plan else 0.0
+                )
+                arrival = proc.clock + cost.latency + delay
+                machine.deliver(
+                    dest, Envelope(proc.myp, seq, tag, payload, arrival)
+                )
+                delivered_once = True
+                if plan is not None and plan.duplicates(
+                    proc.myp, dest, tag, attempt
+                ):
+                    proc.stats.duplicates_sent += 1
+                    machine.deliver(
+                        dest,
+                        Envelope(
+                            proc.myp, seq, tag, payload,
+                            arrival + cost.latency,
+                        ),
+                    )
+                ack_lost = plan is not None and plan.drops_ack(
+                    proc.myp, dest, tag, attempt
+                )
+                if not ack_lost:
+                    monitor.record_send(proc.myp, dest, tag, delivered=True)
+                    return
+                proc.stats.acks_lost += 1
+            # wait out the retransmission timer before trying again
+            proc.clock += rto
+            proc.stats.timeout_time += rto
+            rto *= self.backoff
+        monitor.record_send(proc.myp, dest, tag, delivered=delivered_once)
+        raise TransportError(
+            f"processor {proc.myp} -> {dest} tag={tag}: no acknowledged "
+            f"delivery after {self.max_retries + 1} "
+            f"attempt{'s' if self.max_retries else ''} "
+            f"({'delivered but unacked' if delivered_once else 'all copies lost'})"
+        )

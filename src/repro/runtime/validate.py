@@ -16,6 +16,7 @@ import numpy as np
 
 from ..decomp import DataDecomp
 from ..ir import Program, live_out_writes, run
+from .faults import FaultPlan
 from .machine import CostModel, Machine, RunResult
 
 
@@ -26,10 +27,25 @@ def run_spmd(
     cost: Optional[CostModel] = None,
     seed: int = 0,
     timeout: float = 60.0,
+    fault_plan: Optional[FaultPlan] = None,
+    reliability=None,
+    max_retries: int = 10,
 ) -> RunResult:
-    """Execute a generated SPMD program on the simulator."""
+    """Execute a generated SPMD program on the simulator.
+
+    ``fault_plan``/``reliability``/``max_retries`` configure the
+    reliability subsystem (see :class:`~.machine.Machine`); defaults
+    keep the historical zero-overhead direct channel.
+    """
     machine = Machine(
-        spmd.program, spmd.space, params, cost=cost, timeout=timeout
+        spmd.program,
+        spmd.space,
+        params,
+        cost=cost,
+        timeout=timeout,
+        fault_plan=fault_plan,
+        reliability=reliability,
+        max_retries=max_retries,
     )
     return machine.run(spmd.node, initial_data=initial_data, seed=seed)
 
@@ -43,6 +59,10 @@ def check_against_sequential(
     seed: int = 0,
     cost: Optional[CostModel] = None,
     rtol: float = 1e-9,
+    fault_plan: Optional[FaultPlan] = None,
+    reliability=None,
+    max_retries: int = 10,
+    timeout: float = 60.0,
 ) -> RunResult:
     """Run and assert correctness; returns the RunResult on success.
 
@@ -50,11 +70,24 @@ def check_against_sequential(
     that executed the last write must hold the sequential value.  With
     ``final_data``, every final owner must hold it instead (requires
     finalization communication in the generated program).
+
+    With a ``fault_plan``, this is the reliability subsystem's
+    strongest end-to-end check: the generated program must produce the
+    exact sequential answer *through* a lossy, duplicating, reordering
+    network.
     """
     program: Program = spmd.program
     expected = run(program, params, seed=seed)
     result = run_spmd(
-        spmd, params, initial_data=initial_data, seed=seed, cost=cost
+        spmd,
+        params,
+        initial_data=initial_data,
+        seed=seed,
+        cost=cost,
+        timeout=timeout,
+        fault_plan=fault_plan,
+        reliability=reliability,
+        max_retries=max_retries,
     )
     writers = live_out_writes(program, params)
     space = spmd.space

@@ -139,3 +139,70 @@ class TestTwoPhaseProgram:
             assert np.allclose(
                 proc.arrays["A"][:, lo:hi], golden["A"][:, lo:hi]
             )
+
+
+class TestReorganizeResidency:
+    """The NaN-poisoning fixes: reorganize must never forward a value
+    its source does not actually hold."""
+
+    def _row_blocked_arrays(self, prog, golden):
+        arrays_by_proc = {}
+        for myp in ((0,), (1,)):
+            mine = np.full_like(golden, np.nan)
+            lo, hi = myp[0] * 8, myp[0] * 8 + 8
+            mine[lo:hi, :] = golden[lo:hi, :]
+            arrays_by_proc[myp] = {"A": mine}
+        return arrays_by_proc
+
+    def test_poisoned_source_raises_reorganize_error(self):
+        from repro.runtime import ReorganizeError
+
+        prog = parse(ROWS)
+        arr = prog.arrays["A"]
+        d_rows = block(arr, [8], dims=[0], pdims=[2])
+        d_cols = block(arr, [8], dims=[1], pdims=[2])
+        params = {"P": 2}
+        golden = allocate_arrays(prog, params, seed=0)["A"]
+        arrays_by_proc = self._row_blocked_arrays(prog, golden)
+        # poison an element that must move: row 0 belongs to proc 0,
+        # column 9 belongs to proc 1 under the new layout
+        arrays_by_proc[(0,)]["A"][0, 9] = np.nan
+        with pytest.raises(ReorganizeError) as excinfo:
+            reorganize(arrays_by_proc, "A", d_rows, d_cols, params)
+        assert "A[0, 9]" in str(excinfo.value)
+
+    def test_replicated_source_prefers_resident_copy(self):
+        """Under a replicated old layout every processor is an owner,
+        but only some copies may actually be materialized; the one that
+        holds the value must be chosen over sources[0]."""
+        from repro.decomp import replicated
+
+        prog = parse(ROWS)
+        arr = prog.arrays["A"]
+        d_rep = replicated(arr)
+        d_cols = block(arr, [8], dims=[1], pdims=[2])
+        params = {"P": 2}
+        golden = allocate_arrays(prog, params, seed=0)["A"]
+        # proc 0's replica is fully poisoned; proc 1 holds everything
+        arrays_by_proc = {
+            (0,): {"A": np.full_like(golden, np.nan)},
+            (1,): {"A": golden.copy()},
+        }
+        reorganize(arrays_by_proc, "A", d_rep, d_cols, params)
+        # proc 0 now holds its column block, sourced from proc 1's
+        # materialized replica rather than proc 0's own NaN copy
+        assert np.allclose(arrays_by_proc[(0,)]["A"][:, 0:8],
+                           golden[:, 0:8])
+
+    def test_resident_destination_tolerates_poison(self):
+        """No movement needed => no residency requirement: identity
+        relayout of a poisoned array stays free and silent."""
+        prog = parse(ROWS)
+        arr = prog.arrays["A"]
+        d = block(arr, [8], dims=[0], pdims=[2])
+        params = {"P": 2}
+        golden = allocate_arrays(prog, params, seed=0)["A"]
+        arrays_by_proc = self._row_blocked_arrays(prog, golden)
+        arrays_by_proc[(0,)]["A"][0, 0] = np.nan
+        stats = reorganize(arrays_by_proc, "A", d, d, params)
+        assert stats.messages == 0 and stats.words == 0

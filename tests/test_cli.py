@@ -70,3 +70,32 @@ class TestCLI:
         )
         out = capsys.readouterr().out
         assert "send" in out
+
+    def test_run_with_fault_injection(self, program_file, capsys):
+        assert (
+            main(
+                ["run", program_file, "--block", "i=32",
+                 "-D", "N=70", "-D", "T=1", "-D", "P=3",
+                 "--drop-rate", "0.2", "--dup-rate", "0.1",
+                 "--reorder-rate", "0.1", "--fault-seed", "3"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "injecting faults" in out
+        assert "validated against sequential execution: OK" in out
+        assert "retransmissions" in out
+
+    def test_run_unreliable_reports_deadlock(self, program_file, capsys):
+        assert (
+            main(
+                ["run", program_file, "--block", "i=32",
+                 "-D", "N=70", "-D", "T=1", "-D", "P=3",
+                 "--drop-rate", "0.9", "--reliability", "unreliable"]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "run FAILED: DeadlockError" in out
+        assert "deadlock audit" in out
+        assert "dropped by the network" in out
