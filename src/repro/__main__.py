@@ -28,8 +28,9 @@ from . import (
     parse,
 )
 from .codegen import SPMDOptions
-from .core import communication_report
+from .core import communication_report, compile_distributed
 from .dataflow import all_dependences
+from .polyhedra import stats as poly_stats
 
 
 def _load(path: str):
@@ -92,11 +93,17 @@ def cmd_compile(args) -> int:
         aggregate=not args.no_aggregate,
         multicast=not args.no_multicast,
     )
-    spmd = generate_spmd(program, comps, options=options)
+    result = compile_distributed(program, comps, options=options)
     if args.emit == "python":
-        print(spmd.source)
+        print(result.spmd.source)
     else:
-        print(spmd.c_text)
+        print(result.c_text)
+    if args.poly_stats:
+        print(poly_stats.summary(result.poly_stats), file=sys.stderr)
+        print(
+            f"  compile time:           {result.compile_seconds:.3f}s",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -190,6 +197,11 @@ def main(argv=None) -> int:
     )
     p_compile.add_argument("--no-aggregate", action="store_true")
     p_compile.add_argument("--no-multicast", action="store_true")
+    p_compile.add_argument(
+        "--poly-stats", action="store_true",
+        help="print polyhedral-engine work counters to stderr "
+        "(FM pairs avoided, cache hit rates, codegen volume)",
+    )
     p_compile.set_defaults(fn=cmd_compile)
 
     p_run = sub.add_parser("run", help="simulate and validate")

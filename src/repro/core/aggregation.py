@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..polyhedra import (
+    SUBSUME,
     LinExpr,
     ScanResult,
     System,
@@ -34,6 +35,7 @@ from ..polyhedra import (
     implies_inequality,
     integer_feasible,
     scan,
+    simplify,
 )
 from .commsets import CommSet
 
@@ -203,9 +205,15 @@ def _contents_independent_of_receiver(
     keep = set(prefix) | set(plan.content_vars) | set(recv_procs)
     others = [v for v in cs.all_vars() if v not in keep]
     try:
-        joint = eliminate_many(cs.system, others)
-        marginal_content = eliminate_many(joint, recv_procs)
-        marginal_recv = eliminate_many(joint, list(plan.content_vars))
+        # Subsumption keeps the constraint lists short: every surviving
+        # joint constraint costs one integer implication check below.
+        joint = simplify(eliminate_many(cs.system, others), level=SUBSUME)
+        marginal_content = simplify(
+            eliminate_many(joint, recv_procs), level=SUBSUME
+        )
+        marginal_recv = simplify(
+            eliminate_many(joint, list(plan.content_vars)), level=SUBSUME
+        )
     except Exception:
         return False
     product = marginal_content.intersect(marginal_recv)

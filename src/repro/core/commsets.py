@@ -45,7 +45,12 @@ def array_names(rank: int) -> Tuple[str, ...]:
 
 @dataclass
 class CommSet:
-    """One convex communication set plus its variable-group metadata."""
+    """One convex communication set plus its variable-group metadata.
+
+    Constructions (including ``with_system`` refinements) and sets
+    discarded as integer-empty are counted in
+    :mod:`repro.polyhedra.stats`.
+    """
 
     system: System
     space: ProcSpace
@@ -63,6 +68,11 @@ class CommSet:
     label: str = ""
     finalization: bool = False
 
+    def __post_init__(self) -> None:
+        from ..polyhedra.stats import STATS
+
+        STATS.commsets_built += 1
+
     def all_vars(self) -> Tuple[str, ...]:
         return (
             self.recv_iter_vars
@@ -74,7 +84,12 @@ class CommSet:
         )
 
     def is_empty(self) -> bool:
-        return not integer_feasible(self.system)
+        from ..polyhedra.stats import STATS
+
+        if integer_feasible(self.system):
+            return False
+        STATS.commsets_empty_pruned += 1
+        return True
 
     def with_system(self, system: System, label: Optional[str] = None) -> "CommSet":
         return replace(

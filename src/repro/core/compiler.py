@@ -41,6 +41,10 @@ class CommReport:
 class CompileResult:
     spmd: "SPMD"
     compile_seconds: float
+    #: polyhedral-engine counter deltas for this compilation (see
+    #: :mod:`repro.polyhedra.stats`); ``stats.summary(result.poly_stats)``
+    #: renders them the way the CLI's ``--poly-stats`` flag does.
+    poly_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def c_text(self) -> str:
@@ -60,12 +64,18 @@ def compile_distributed(
     """Compile with explicit computation decompositions (the paper's
     primary, value-centric mode)."""
     from ..codegen import generate_spmd
+    from ..polyhedra import stats
 
+    before = stats.snapshot()
     start = time.perf_counter()
     spmd = generate_spmd(
         program, comps, initial_data=initial_data, options=options
     )
-    return CompileResult(spmd, time.perf_counter() - start)
+    return CompileResult(
+        spmd,
+        time.perf_counter() - start,
+        poly_stats=stats.delta_since(before),
+    )
 
 
 def compile_owner_computes(

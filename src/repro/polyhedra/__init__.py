@@ -23,12 +23,17 @@ from .bexpr import (
     simplify_bexpr,
     upper_bound_expr,
 )
+from . import stats
 from .fourier_motzkin import (
     VarBounds,
     eliminate,
+    eliminate_exact_flag,
     eliminate_many,
     extract_bounds,
+    projection_cache_clear,
+    projection_cache_info,
     rational_feasible,
+    set_projection_cache_size,
 )
 from .lexmax import (
     LexMaxUnsupportedError,
@@ -41,12 +46,21 @@ from .omega import (
     OmegaDepthError,
     eliminate_equalities,
     enumerate_points,
+    feasibility_cache_clear,
     implies_equality,
     implies_inequality,
     integer_feasible,
     is_empty,
     remove_redundant,
     sample_point,
+    set_feasibility_memo_size,
+)
+from .simplify import (
+    NONE,
+    SEMANTIC,
+    SUBSUME,
+    set_default_level as set_default_prune_level,
+    simplify,
 )
 from .scan import (
     EmptyPolyhedronError,
@@ -55,7 +69,7 @@ from .scan import (
     enumerate_scan,
     scan,
 )
-from .system import InfeasibleError, System
+from .system import InfeasibleError, System, canonical_equality
 
 __all__ = [
     "BExpr",
@@ -71,18 +85,24 @@ __all__ = [
     "MaxE",
     "MinE",
     "ModE",
+    "NONE",
     "OmegaDepthError",
+    "SEMANTIC",
+    "SUBSUME",
     "ScanLoop",
     "ScanResult",
     "System",
     "VarBounds",
+    "canonical_equality",
     "const",
     "eliminate",
     "eliminate_equalities",
+    "eliminate_exact_flag",
     "eliminate_many",
     "enumerate_points",
     "enumerate_scan",
     "extract_bounds",
+    "feasibility_cache_clear",
     "implies_equality",
     "implies_inequality",
     "integer_feasible",
@@ -91,11 +111,18 @@ __all__ = [
     "lower_bound_expr",
     "parametric_lexmax",
     "parametric_lexmin",
+    "projection_cache_clear",
+    "projection_cache_info",
     "rational_feasible",
     "remove_redundant",
     "sample_point",
     "scan",
+    "set_default_prune_level",
+    "set_feasibility_memo_size",
+    "set_projection_cache_size",
+    "simplify",
     "simplify_bexpr",
+    "stats",
     "subtract_piece",
     "upper_bound_expr",
     "var",

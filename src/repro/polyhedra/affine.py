@@ -14,6 +14,7 @@ write iteration variable, ``p$r``/``p$s`` for processor variables).
 from __future__ import annotations
 
 import math
+import weakref
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
 Coeffs = Dict[str, int]
@@ -21,20 +22,61 @@ ExprLike = Union["LinExpr", int]
 
 
 class LinExpr:
-    """An affine expression ``sum(coeff[v] * v) + const`` with int coeffs."""
+    """An affine expression ``sum(coeff[v] * v) + const`` with int coeffs.
 
-    __slots__ = ("_coeffs", "const", "_hash")
+    Instances are *hash-consed*: building the same expression twice
+    yields the same object, so equality is an identity check and the
+    hash is computed once.  The intern table holds weak references --
+    expressions are reclaimed normally once nothing else uses them.
+    """
 
-    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+    __slots__ = ("_coeffs", "const", "_key", "_hash", "__weakref__")
+
+    _intern: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, coeffs: Mapping[str, int] | None = None, const: int = 0):
         clean: Coeffs = {}
         if coeffs:
             for var, coeff in coeffs.items():
                 coeff = int(coeff)
                 if coeff != 0:
                     clean[var] = coeff
+        key = (tuple(sorted(clean.items())), int(const))
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
         self._coeffs = clean
-        self.const = int(const)
-        self._hash: int | None = None
+        self.const = key[1]
+        self._key = key
+        self._hash = hash(key)
+        cls._intern[key] = self
+        return self
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+        pass  # fully constructed (or interned) in __new__
+
+    @property
+    def key(self) -> Tuple[Tuple[Tuple[str, int], ...], int]:
+        """The canonical ``(sorted coeff tuple, const)`` interning key.
+
+        Stable, hashable and totally orderable -- systems use it to
+        build canonical forms for cache keying.
+        """
+        return self._key
+
+    # hash-consed instances are immutable; copying returns self, and
+    # pickling round-trips through the constructor so the intern table
+    # is consulted on reconstruction instead of bypassing __new__.
+
+    def __copy__(self) -> "LinExpr":
+        return self
+
+    def __deepcopy__(self, memo) -> "LinExpr":
+        return self
+
+    def __reduce__(self):
+        return (LinExpr, (self._coeffs, self.const))
 
     # -- constructors -----------------------------------------------------
 
@@ -180,15 +222,14 @@ class LinExpr:
     # -- equality / display ---------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, LinExpr):
             return NotImplemented
-        return self._coeffs == other._coeffs and self.const == other.const
+        # distinct interned instances are never structurally equal
+        return self._key == other._key
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            self._hash = hash(
-                (frozenset(self._coeffs.items()), self.const)
-            )
         return self._hash
 
     def __repr__(self) -> str:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .affine import LinExpr
-from .fourier_motzkin import extract_bounds
+from .fourier_motzkin import eliminate_exact_flag, extract_bounds
 from .omega import integer_feasible
 from .system import InfeasibleError, System
 
@@ -62,22 +62,21 @@ class LexPiece:
 
 
 def _project_exact(system: System, names: Sequence[str]) -> System:
-    """FM-project ``names`` out; raise if any step is integer-inexact."""
+    """FM-project ``names`` out; raise if any step is integer-inexact.
+
+    Routed through the shared elimination engine so the projections are
+    redundancy-pruned and counted; exactness is still judged over the
+    full pre-filter pair set (see ``eliminate_exact_flag``).
+    """
     current = system
     for name in names:
         if not current.involves(name):
             continue
-        bounds = extract_bounds(current, name)
-        out = bounds.rest
-        for a, f in bounds.lowers:
-            for b, g in bounds.uppers:
-                if a != 1 and b != 1:
-                    raise LexMaxUnsupportedError(
-                        f"inexact projection eliminating {name}: "
-                        f"coefficients {a} and {b}"
-                    )
-                out.add_inequality(g * a - f * b)
-        current = out
+        current, exact = eliminate_exact_flag(current, name)
+        if not exact:
+            raise LexMaxUnsupportedError(
+                f"inexact projection eliminating {name}"
+            )
     return current
 
 

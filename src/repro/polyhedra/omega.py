@@ -20,10 +20,14 @@ negation has no integer solution.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .affine import LinExpr
+from . import simplify as _simplify_mod
 from .fourier_motzkin import extract_bounds
+from .simplify import SUBSUME, simplify
+from .stats import STATS
 from .system import InfeasibleError, System
 
 
@@ -129,12 +133,56 @@ def _floor_div(a: int, b: int) -> int:
 # Integer feasibility
 # ---------------------------------------------------------------------------
 
+#: memo for integer_feasible, keyed on (canonical system key, max_depth).
+#: Feasibility is a pure function of the constraint set, so the memo is
+#: never invalidated -- the LRU bound only limits memory.
+_FEASIBILITY_MEMO: "OrderedDict[Tuple, bool]" = OrderedDict()
+_FEASIBILITY_MEMO_MAXSIZE = 8192
+
+
+def feasibility_cache_clear() -> None:
+    """Drop every memoized integer-feasibility verdict."""
+    _FEASIBILITY_MEMO.clear()
+
+
+def set_feasibility_memo_size(maxsize: int) -> int:
+    """Resize the feasibility memo (0 disables); returns the old size.
+
+    Mirrors ``fourier_motzkin.set_projection_cache_size`` so ablation
+    benchmarks can switch the whole cache layer off.
+    """
+    global _FEASIBILITY_MEMO_MAXSIZE
+    previous = _FEASIBILITY_MEMO_MAXSIZE
+    _FEASIBILITY_MEMO_MAXSIZE = maxsize
+    while len(_FEASIBILITY_MEMO) > maxsize:
+        _FEASIBILITY_MEMO.popitem(last=False)
+    return previous
+
+
 def integer_feasible(system: System, max_depth: int = 60) -> bool:
-    """Does the system have an integer solution?  (All vars existential.)"""
+    """Does the system have an integer solution?  (All vars existential.)
+
+    Verdicts are memoized on the system's canonical form: the compiler
+    asks the same emptiness questions many times (communication-set
+    pruning, bound pruning, redundancy checks).  A search that exhausts
+    its recursion budget (:class:`OmegaDepthError`) is *not* cached --
+    a caller with a larger budget must be able to retry.
+    """
+    key = (system.canonical_key(), max_depth)
+    hit = _FEASIBILITY_MEMO.get(key)
+    if hit is not None:
+        _FEASIBILITY_MEMO.move_to_end(key)
+        STATS.feasibility_cache_hits += 1
+        return hit
+    STATS.feasibility_cache_misses += 1
     try:
-        return _feasible(system, max_depth)
+        verdict = _feasible(system, max_depth)
     except InfeasibleError:
-        return False
+        verdict = False
+    _FEASIBILITY_MEMO[key] = verdict
+    while len(_FEASIBILITY_MEMO) > _FEASIBILITY_MEMO_MAXSIZE:
+        _FEASIBILITY_MEMO.popitem(last=False)
+    return verdict
 
 
 def is_empty(system: System) -> bool:
@@ -142,31 +190,57 @@ def is_empty(system: System) -> bool:
     return not integer_feasible(system)
 
 
+def _var_choice_stats(system: System) -> Dict[str, Tuple[int, int, bool]]:
+    """Per-variable ``(lowers, uppers, exact)`` in one constraint pass.
+
+    ``exact`` is Pugh's condition -- the variable's elimination is exact
+    when it has no lower (or no upper) bound, or every lower (or every
+    upper) coefficient is 1.  The system is assumed equality-free.
+    """
+    acc: Dict[str, List] = {}
+    for ineq in system.inequalities:
+        for var, coeff in ineq.terms():
+            slot = acc.get(var)
+            if slot is None:
+                slot = acc[var] = [0, 0, True, True]
+            if coeff > 0:
+                slot[0] += 1
+                slot[2] = slot[2] and coeff == 1
+            else:
+                slot[1] += 1
+                slot[3] = slot[3] and coeff == -1
+    return {
+        var: (lo, hi, lo == 0 or hi == 0 or all_lo or all_hi)
+        for var, (lo, hi, all_lo, all_hi) in acc.items()
+    }
+
+
 def _feasible(system: System, depth: int) -> bool:
     if depth <= 0:
         raise OmegaDepthError("omega test recursion budget exhausted")
     current = eliminate_equalities(system)
-    variables = list(current.variables())
-    if not variables:
+    # Subsumption pruning is always safe on feasibility-only paths (it
+    # is exactly semantics-preserving) and keeps the FM descent small.
+    # Follows the engine-wide default so ablation runs (prune NONE)
+    # really disable it, but never recurses into the semantic level.
+    try:
+        current = simplify(
+            current, level=min(_simplify_mod.DEFAULT_LEVEL, SUBSUME)
+        )
+    except InfeasibleError:
+        return False
+    choice = _var_choice_stats(current)
+    if not choice:
         return True  # no constraints left that could fail
 
     # Choose the next variable: prefer one whose elimination is exact,
-    # with the smallest FM fan-out.
-    best = None
-    best_key = None
-    for name in variables:
-        bounds = extract_bounds(current, name)
-        cost = len(bounds.lowers) * len(bounds.uppers)
-        exact = (
-            not bounds.lowers
-            or not bounds.uppers
-            or all(a == 1 for a, _ in bounds.lowers)
-            or all(b == 1 for b, _ in bounds.uppers)
-        )
-        key = (0 if exact else 1, cost, name)
-        if best_key is None or key < best_key:
-            best, best_key, best_bounds = name, key, bounds
-    name, bounds = best, best_bounds
+    # with the smallest FM fan-out; ties break on the name so the
+    # search is reproducible.
+    name = min(
+        choice,
+        key=lambda n: (not choice[n][2], choice[n][0] * choice[n][1], n),
+    )
+    bounds = extract_bounds(current, name)
 
     if not bounds.lowers or not bounds.uppers:
         # Unbounded in one direction: drop all constraints on the var.
@@ -211,6 +285,10 @@ def _shadows(bounds) -> Tuple[Optional[System], Optional[System], bool]:
     real: Optional[System] = bounds.rest.copy()
     dark: Optional[System] = bounds.rest.copy()
     exact = True
+    pairs = len(bounds.lowers) * len(bounds.uppers)
+    STATS.eliminations += 1
+    STATS.pairs_considered += pairs
+    STATS.pairs_materialized += pairs
     for a, f in bounds.lowers:
         for b, g in bounds.uppers:
             combined = g * a - f * b
@@ -226,6 +304,8 @@ def _shadows(bounds) -> Tuple[Optional[System], Optional[System], bool]:
                     dark = None
             if a != 1 and b != 1:
                 exact = False
+    if real is not None:
+        STATS.observe_system_size(real.size())
     return real, dark, exact
 
 

@@ -221,12 +221,21 @@ class SymSystem:
         Raises SymbolicUnsupportedError when a combination's
         coefficients leave the linear class (the paper's scope limit).
         """
+        from .stats import STATS
+
         lowers, uppers, rest = self.bounds_on(var)
+        STATS.symbolic_pairs_considered += len(lowers) * len(uppers)
         out = SymSystem(list(rest))
+        seen = set(out.inequalities)
         for a, f in lowers:
             for b, g in uppers:
                 # a*v >= f, b*v <= g  =>  a*g - b*f >= 0
-                out.add(g.scale(a) + f.scale(b).negate())
+                combined = g.scale(a) + f.scale(b).negate()
+                if combined in seen:
+                    continue
+                seen.add(combined)
+                STATS.symbolic_pairs_materialized += 1
+                out.add(combined)
         return out
 
     def satisfies(self, env: Mapping[str, int]) -> bool:

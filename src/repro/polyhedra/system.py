@@ -10,7 +10,7 @@ on them by projection (see :mod:`repro.polyhedra.fourier_motzkin` and
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .affine import ExprLike, LinExpr
 
@@ -19,10 +19,33 @@ class InfeasibleError(Exception):
     """Raised when a constraint is syntactically unsatisfiable (e.g. -1 >= 0)."""
 
 
-class System:
-    """A conjunction of ``eq == 0`` and ``ineq >= 0`` constraints."""
+def canonical_equality(expr: LinExpr) -> LinExpr:
+    """The canonical representative of the equality class of ``expr == 0``.
 
-    __slots__ = ("equalities", "inequalities")
+    Divides by the gcd of the coefficients (when the constant permits)
+    and fixes the sign so the first variable's coefficient is positive:
+    ``2x - 2y == 0`` and ``-x + y == 0`` both canonicalize to ``x - y``.
+    """
+    g = expr.content()
+    if g > 1 and expr.const % g == 0:
+        expr = expr.divide_exact(g)
+    for _var, coeff in sorted(expr.terms()):
+        if coeff < 0:
+            return -expr
+        break
+    return expr
+
+
+class System:
+    """A conjunction of ``eq == 0`` and ``ineq >= 0`` constraints.
+
+    Systems are mutable while being built; ``canonical_key()`` derives
+    (and caches) an order-independent canonical form used for hashing,
+    equality, and keying the projection/feasibility caches.  Every
+    mutation invalidates the cached form.
+    """
+
+    __slots__ = ("equalities", "inequalities", "_canon")
 
     def __init__(
         self,
@@ -31,6 +54,7 @@ class System:
     ):
         self.equalities: List[LinExpr] = []
         self.inequalities: List[LinExpr] = []
+        self._canon = None
         for eq in equalities:
             self.add_equality(eq)
         for ineq in inequalities:
@@ -42,17 +66,26 @@ class System:
         out = System()
         out.equalities = list(self.equalities)
         out.inequalities = list(self.inequalities)
+        # _canon stays None: a few callers mutate the copy's constraint
+        # lists directly, which would leave a propagated key stale.
         return out
 
     def add_equality(self, expr: ExprLike) -> None:
-        """Add ``expr == 0``; drops trivial ``0 == 0``."""
+        """Add ``expr == 0``; drops trivial ``0 == 0`` and duplicates.
+
+        The duplicate test is modulo scaling and sign: ``2x - 2y == 0``
+        is recognized as already present when ``x - y == 0`` is.
+        """
         expr = LinExpr.coerce(expr)
         if expr.is_constant():
             if expr.const != 0:
                 raise InfeasibleError(f"unsatisfiable equality {expr} == 0")
             return
-        if expr in self.equalities or (-expr) in self.equalities:
-            return
+        canon = canonical_equality(expr)
+        for existing in self.equalities:
+            if canonical_equality(existing) is canon:
+                return
+        self._canon = None
         self.equalities.append(expr)
 
     def add_inequality(self, expr: ExprLike) -> None:
@@ -65,6 +98,7 @@ class System:
         expr = expr.normalized_ineq()
         if expr in self.inequalities:
             return
+        self._canon = None
         self.inequalities.append(expr)
 
     def add_le(self, lhs: ExprLike, rhs: ExprLike) -> None:
@@ -115,6 +149,10 @@ class System:
             names |= expr.variables()
         return frozenset(names)
 
+    def size(self) -> int:
+        """Total constraint count (equalities + inequalities)."""
+        return len(self.equalities) + len(self.inequalities)
+
     def involves(self, name: str) -> bool:
         return any(expr.coeff(name) != 0 for expr, _ in self.constraints())
 
@@ -127,6 +165,33 @@ class System:
 
     def is_trivially_true(self) -> bool:
         return not self.equalities and not self.inequalities
+
+    def canonical_key(self) -> Tuple[Tuple, Tuple]:
+        """An order-independent canonical form of the constraint set.
+
+        Equalities are canonicalized modulo scaling and sign; both
+        groups are sorted by their interning keys.  Two systems with the
+        same canonical key denote the same integer set *syntactically*
+        (same constraints up to ordering and equality scaling) -- the
+        property the projection and feasibility caches key on.
+
+        The key is cached; any ``add_*`` call invalidates it.  Callers
+        that mutate ``equalities``/``inequalities`` directly must do so
+        on a fresh copy (``copy()`` drops the cached key).
+        """
+        if self._canon is None:
+            eqs = sorted({canonical_equality(e).key for e in self.equalities})
+            ineqs = sorted({i.key for i in self.inequalities})
+            self._canon = (tuple(eqs), tuple(ineqs))
+        return self._canon
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, System):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
 
     # -- transformation -------------------------------------------------------
 

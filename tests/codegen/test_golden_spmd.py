@@ -1,0 +1,167 @@
+"""Golden SPMD outputs: the engine-performance work must not change codegen.
+
+The polyhedral performance layer (redundancy-pruned Fourier-Motzkin,
+hash-consed expressions, the projection cache) is required to be
+semantics- *and* syntax-preserving on the paper's figure workloads:
+same communication sets, same loop bounds, same generated node program.
+These tests pin the generated text against goldens captured from the
+engine before the performance layer landed.
+
+Names of compiler-generated temporaries (message buffers ``bufN``,
+omega/lexmax auxiliaries ``$qN`` and ``$eqN``) depend on global
+counters and therefore on how much compilation ran earlier in the
+process; :func:`normalize` canonicalizes them by order of first
+appearance so the comparison is stable.
+
+Regenerate (only when an output change is intended and reviewed)::
+
+    PYTHONPATH=src:tests python tests/codegen/test_golden_spmd.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+import pytest
+
+from repro import block_loop, generate_spmd, onto, parse
+from repro.codegen import SPMDOptions
+from repro.polyhedra import var
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+FIG2_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+FIG8_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = f(X[i], X[i - 1], X[i - 2], X[i - 3])
+"""
+
+LU_SRC = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+PIPE_SRC = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+
+_GENSYM = re.compile(r"buf(\d+)|\$q(\d+)|\$eq(\d+)|\$omega(\d+)")
+
+
+def normalize(text: str) -> str:
+    """Canonicalize generated temporary names by first appearance."""
+    mapping = {}
+
+    def rename(match: re.Match) -> str:
+        token = match.group(0)
+        if token not in mapping:
+            prefix = token.rstrip("0123456789")
+            count = sum(1 for t in mapping if t.startswith(prefix))
+            mapping[token] = f"{prefix}#{count}"
+        return mapping[token]
+
+    return _GENSYM.sub(rename, text)
+
+
+def _fig2(options=None):
+    program = parse(FIG2_SRC, name="figure2")
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [32])}
+    return generate_spmd(program, comps, options=options)
+
+
+def _fig8():
+    program = parse(FIG8_SRC, name="figure8")
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [32])}
+    return generate_spmd(program, comps)
+
+
+def _lu():
+    program = parse(LU_SRC, name="lu")
+    s1 = program.statement("s1")
+    s2 = program.statement("s2")
+    comps = {"s1": onto(s1, [var("i2")])}
+    comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
+    return generate_spmd(program, comps)
+
+
+def _pipe():
+    program = parse(PIPE_SRC, name="pipe")
+    s1 = program.statement("s1")
+    s2 = program.statement("s2")
+    comps = {"s1": block_loop(s1, ["i"], [16])}
+    comps["s2"] = block_loop(s2, ["j"], [16], space=comps["s1"].space)
+    return generate_spmd(program, comps)
+
+
+WORKLOADS = {
+    "fig2": _fig2,
+    "fig2_noagg": lambda: _fig2(SPMDOptions(aggregate=False)),
+    "fig8": _fig8,
+    "lu": _lu,
+    "pipe": _pipe,
+}
+
+
+def render(spmd) -> str:
+    """The golden view: comm sets, plans, and the full node program."""
+    lines = []
+    for cs in spmd.commsets:
+        lines.append(cs.describe())
+    for plan in spmd.plans:
+        lines.append(plan.describe())
+    lines.append(spmd.c_text)
+    return normalize("\n".join(lines)) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_golden_spmd(name):
+    path = os.path.join(GOLDEN_DIR, f"{name}.txt")
+    with open(path) as fh:
+        expected = fh.read()
+    actual = render(WORKLOADS[name]())
+    assert actual == expected, (
+        f"generated SPMD output for {name} changed; if intended, "
+        f"regenerate goldens with PYTHONPATH=src:tests python {__file__}"
+    )
+
+
+def _regenerate():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, build in sorted(WORKLOADS.items()):
+        path = os.path.join(GOLDEN_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(render(build()))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    _regenerate()

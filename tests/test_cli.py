@@ -56,6 +56,21 @@ class TestCLI:
         assert "validated against sequential execution: OK" in out
         assert "messages:  4" in out
 
+    def test_compile_poly_stats(self, program_file, capsys):
+        assert (
+            main(
+                ["compile", program_file, "--block", "i=32",
+                 "--poly-stats"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "send" in captured.out
+        assert "polyhedral engine statistics" in captured.err
+        assert "FM eliminations" in captured.err
+        assert "projection cache" in captured.err
+        assert "compile time" in captured.err
+
     def test_missing_block_rejected(self, program_file):
         with pytest.raises(SystemExit):
             main(["compile", program_file])
