@@ -1,0 +1,142 @@
+"""Resilience economics: checkpoint density vs. crash recovery cost.
+
+Not a paper figure -- the paper assumes processors never die -- but
+the natural companion to ``bench_fault_overhead.py`` once the runtime
+gains fail-stop crash tolerance: sweep the checkpoint interval and the
+number of injected crashes on the LU case study and measure how the
+makespan decomposes into checkpoint overhead (paid always) versus
+recovery cost (paid per crash).  The classic trade-off: dense
+checkpoints cost more up front but bound the lost work; sparse
+checkpoints are nearly free until something dies.
+
+Claims under test:
+
+* with no crashes and no checkpoint policy, the subsystem is free:
+  identical makespan to the historical runtime;
+* checkpoint overhead grows as the interval shrinks;
+* every crashed run completes with **bit-identical** final arrays and
+  a makespan strictly above the crash-free baseline (lost work +
+  restart penalty are priced in);
+* with a crash injected, *some* checkpointing beats none (replaying
+  the whole program from t=0 costs more than replaying from a
+  mid-run snapshot).
+
+Results land in ``BENCH_resilience.json`` for the CI artifact.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.runtime import CheckpointPolicy, FaultPlan, run_spmd
+from workloads import IPSC, lu_compiled
+
+PARAMS = {"N": 16, "P": 4}
+#: checkpoint cadence sweep, in processor operations (None = no policy)
+EVERY_OPS = (None, 100, 50, 25, 10)
+#: how many processors die, and when (fractions of the clean makespan)
+CRASH_SCHEDULES = {
+    0: {},
+    1: {0: 0.5},
+    2: {0: 0.4, 2: 0.7},
+}
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_resilience.json"
+)
+
+
+def _identical(a, b) -> bool:
+    return all(
+        np.array_equal(a.arrays[myp][n], b.arrays[myp][n], equal_nan=True)
+        for myp in a.arrays
+        for n in a.arrays[myp]
+    )
+
+
+def sweep(spmd):
+    clean = run_spmd(spmd, PARAMS, cost=IPSC)
+    rows = []
+    for crashes, schedule in CRASH_SCHEDULES.items():
+        plan = (
+            FaultPlan(
+                seed=7,
+                crashes={
+                    rank: frac * clean.makespan
+                    for rank, frac in schedule.items()
+                },
+            )
+            if schedule
+            else None
+        )
+        for every in EVERY_OPS:
+            policy = CheckpointPolicy(every_ops=every) if every else None
+            result = run_spmd(
+                spmd, PARAMS, cost=IPSC, fault_plan=plan,
+                checkpoint=policy, max_restarts=8,
+            )
+            assert _identical(clean, result), (
+                f"crashes={crashes} every_ops={every}: wrong values"
+            )
+            rows.append(
+                {
+                    "crashes": crashes,
+                    "every_ops": every,
+                    "makespan": result.makespan,
+                    "slowdown": result.makespan / clean.makespan,
+                    "checkpoints": result.checkpoints,
+                    "checkpoint_time": result.stat_sum("checkpoint_time"),
+                    "restarts": result.restarts,
+                    "recovery_time": result.recovery_time,
+                }
+            )
+    return clean, rows
+
+
+def test_checkpoint_overhead(benchmark, report):
+    _program, _comps, spmd = lu_compiled()
+    clean, rows = benchmark.pedantic(
+        sweep, args=(spmd,), rounds=1, iterations=1
+    )
+
+    report("Checkpoint/restart economics on LU "
+           "(bit-identical at every cell)")
+    report(
+        f"{'crashes':>7} {'every-ops':>9} {'makespan':>10} {'slowdown':>9} "
+        f"{'ckpts':>6} {'ckpt-t':>8} {'restarts':>8} {'recovery-t':>10}"
+    )
+    for row in rows:
+        every = row["every_ops"] if row["every_ops"] else "--"
+        report(
+            f"{row['crashes']:>7} {every:>9} {row['makespan']:>10.0f} "
+            f"{row['slowdown']:>8.2f}x {row['checkpoints']:>6} "
+            f"{row['checkpoint_time']:>8.0f} {row['restarts']:>8} "
+            f"{row['recovery_time']:>10.0f}"
+        )
+
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(
+            {"params": PARAMS, "clean_makespan": clean.makespan,
+             "rows": rows},
+            fh, indent=2, sort_keys=True,
+        )
+
+    by = {(r["crashes"], r["every_ops"]): r for r in rows}
+    # zero-overhead default: no crashes, no policy == historical runtime
+    assert by[(0, None)]["makespan"] == clean.makespan
+    assert by[(0, None)]["checkpoints"] == 0
+    # checkpoint overhead grows as the cadence densifies
+    crash_free = [by[(0, e)]["makespan"] for e in (100, 50, 25, 10)]
+    assert crash_free == sorted(crash_free)
+    # every crash costs: the crashed cells sit above the baseline
+    for row in rows:
+        if row["crashes"]:
+            assert row["restarts"] >= 1
+            assert row["makespan"] > clean.makespan
+            assert row["recovery_time"] > 0
+    # with a crash, a mid-density checkpoint beats replay-from-zero
+    assert (
+        min(by[(1, e)]["makespan"] for e in (100, 50, 25))
+        < by[(1, None)]["makespan"]
+    )

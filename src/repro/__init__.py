@@ -22,7 +22,9 @@ from .dataflow import last_write_tree
 from .decomp import ProcSpace, block, block_loop, cyclic, onto, owner_computes, replicated
 from .lang import parse
 from .runtime import (
+    CheckpointPolicy,
     CostModel,
+    CrashError,
     DeadlockError,
     FaultPlan,
     Machine,
@@ -32,7 +34,9 @@ from .runtime import (
 )
 
 __all__ = [
+    "CheckpointPolicy",
     "CostModel",
+    "CrashError",
     "DeadlockError",
     "FaultPlan",
     "Machine",

@@ -18,6 +18,8 @@ import sys
 from typing import Dict, List
 
 from . import (
+    CheckpointPolicy,
+    CrashError,
     DeadlockError,
     FaultPlan,
     TransportError,
@@ -117,18 +119,50 @@ def _rate(text: str) -> float:
     return value
 
 
+def _crash_spec(text: str):
+    """argparse type for --crash-at: ``RANK@TIME`` or ``i,j@TIME``."""
+    rank, sep, when = text.partition("@")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected RANK@TIME (e.g. 0@5000 or 1,0@5000), got {text!r}"
+        )
+    try:
+        coords = tuple(int(c) for c in rank.split(","))
+        return coords, float(when)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected RANK@TIME with integer rank and numeric time, "
+            f"got {text!r}"
+        ) from None
+
+
 def _build_fault_plan(args) -> FaultPlan | None:
     """CLI fault-injection flags -> a FaultPlan (None when no faults)."""
     rates = (args.drop_rate, args.dup_rate, args.reorder_rate,
-             args.stall_rate)
-    if not any(rates):
+             args.stall_rate, args.ack_drop_rate, args.crash_rate)
+    if not any(r for r in rates if r is not None) and not args.crash_at:
         return None
     return FaultPlan(
         seed=args.fault_seed,
         drop_rate=args.drop_rate,
         dup_rate=args.dup_rate,
         reorder_rate=args.reorder_rate,
+        max_delay=args.max_delay,
+        ack_drop_rate=args.ack_drop_rate,
         stall_rate=args.stall_rate,
+        stall_time=args.stall_time,
+        crash_rate=args.crash_rate,
+        crashes=dict(args.crash_at) if args.crash_at else None,
+    )
+
+
+def _build_checkpoint_policy(args) -> CheckpointPolicy | None:
+    """CLI checkpoint flags -> a CheckpointPolicy (None when off)."""
+    if args.checkpoint_interval is None and args.checkpoint_every_ops is None:
+        return None
+    return CheckpointPolicy(
+        every_ops=args.checkpoint_every_ops,
+        interval=args.checkpoint_interval,
     )
 
 
@@ -138,6 +172,7 @@ def cmd_run(args) -> int:
     spmd = generate_spmd(program, comps)
     params = _parse_defs(args.define)
     plan = _build_fault_plan(args)
+    policy = _build_checkpoint_policy(args)
     if plan is not None:
         print(f"injecting faults: {plan.describe()}")
     try:
@@ -148,8 +183,10 @@ def cmd_run(args) -> int:
             fault_plan=plan,
             reliability=args.reliability,
             max_retries=args.max_retries,
+            checkpoint=policy,
+            max_restarts=args.max_restarts,
         )
-    except (DeadlockError, TransportError) as exc:
+    except (CrashError, DeadlockError, TransportError) as exc:
         print(f"run FAILED: {type(exc).__name__}")
         print(exc)
         for note in getattr(exc, "__notes__", ()):
@@ -169,6 +206,15 @@ def cmd_run(args) -> int:
             f"{result.stat_sum('timeout_time'):.0f} time units in "
             f"retransmission timeouts"
         )
+    if result.crash_events or result.checkpoints:
+        print(
+            f"resilience: {len(result.crash_events)} crash(es), "
+            f"{result.restarts} restart(s), "
+            f"{result.checkpoints} checkpoint(s) taken, "
+            f"{result.recovery_time:.0f} time units spent recovering"
+        )
+        for event in result.crash_events:
+            print(f"  {event.describe()}")
     report = communication_report(
         spmd, {k: v for k, v in params.items() if not k.startswith("P")}
     )
@@ -225,8 +271,23 @@ def main(argv=None) -> int:
         help="probability a delivery is delayed/reordered (default 0)",
     )
     rel.add_argument(
+        "--max-delay", type=float, default=400.0, metavar="T",
+        help="maximum extra delay of a reordered delivery, in model "
+        "time units (default 400)",
+    )
+    rel.add_argument(
+        "--ack-drop-rate", type=_rate, default=None, metavar="P",
+        help="probability an acknowledgement is lost (defaults to "
+        "--drop-rate; forces spurious retransmissions)",
+    )
+    rel.add_argument(
         "--stall-rate", type=_rate, default=0.0, metavar="P",
         help="probability of a transient processor stall per comm call",
+    )
+    rel.add_argument(
+        "--stall-time", type=float, default=200.0, metavar="T",
+        help="mean transient-stall duration in model time units "
+        "(default 200)",
     )
     rel.add_argument(
         "--fault-seed", type=int, default=0, metavar="SEED",
@@ -243,6 +304,33 @@ def main(argv=None) -> int:
         help="transport: auto = reliable iff faults are injected "
         "(default), direct = historical exactly-once channel, "
         "unreliable = raw faulty network with no recovery",
+    )
+    res = p_run.add_argument_group("crash tolerance")
+    res.add_argument(
+        "--crash-rate", type=_rate, default=0.0, metavar="P",
+        help="probability a processor dies (fail-stop) at each "
+        "communication call (default 0)",
+    )
+    res.add_argument(
+        "--crash-at", type=_crash_spec, action="append",
+        metavar="RANK@TIME",
+        help="schedule a fail-stop crash: processor RANK (an integer, "
+        "or comma-separated coordinates) dies when its clock reaches "
+        "TIME; repeatable",
+    )
+    res.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="T",
+        help="checkpoint every T model-time units (off by default; "
+        "without any checkpoint flag, recovery replays from the start)",
+    )
+    res.add_argument(
+        "--checkpoint-every-ops", type=int, default=None, metavar="K",
+        help="checkpoint every K processor operations (off by default)",
+    )
+    res.add_argument(
+        "--max-restarts", type=int, default=3, metavar="N",
+        help="coordinated rollbacks to attempt before giving up with a "
+        "crash report (default 3)",
     )
     p_run.set_defaults(fn=cmd_run)
 

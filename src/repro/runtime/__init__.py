@@ -5,17 +5,28 @@ Layered as a small distributed runtime:
 * :mod:`~repro.runtime.machine` -- processors, clocks, cost model;
 * :mod:`~repro.runtime.transport` -- direct / unreliable / reliable
   message transports (sequence numbers, ack/retransmit, dedup);
-* :mod:`~repro.runtime.faults` -- deterministic fault injection;
-* :mod:`~repro.runtime.diagnostics` -- progress monitoring and
-  structured deadlock reports;
+* :mod:`~repro.runtime.faults` -- deterministic fault injection
+  (network faults and fail-stop processor crashes);
+* :mod:`~repro.runtime.checkpoint` -- coordinated checkpoint/restart
+  for crash tolerance;
+* :mod:`~repro.runtime.diagnostics` -- progress monitoring, structured
+  deadlock and crash reports;
 * :mod:`~repro.runtime.collective` -- all-to-all data reorganization;
 * :mod:`~repro.runtime.validate` -- validation against sequential
   execution.
 """
 
+from .checkpoint import CheckpointPolicy, CheckpointStore
 from .collective import CollectiveStats, ReorganizeError, reorganize
-from .diagnostics import DeadlockError, DeadlockReport, ProgressMonitor
-from .faults import FaultPlan
+from .diagnostics import (
+    CrashError,
+    CrashEvent,
+    CrashReport,
+    DeadlockError,
+    DeadlockReport,
+    ProgressMonitor,
+)
+from .faults import FaultPlan, ProcessorCrashed
 from .machine import (
     CostModel,
     Machine,
@@ -34,8 +45,13 @@ from .transport import (
 from .validate import check_against_sequential, run_spmd
 
 __all__ = [
+    "CheckpointPolicy",
+    "CheckpointStore",
     "CollectiveStats",
     "CostModel",
+    "CrashError",
+    "CrashEvent",
+    "CrashReport",
     "DeadlockError",
     "DeadlockReport",
     "DirectTransport",
@@ -44,6 +60,7 @@ __all__ = [
     "Machine",
     "ProcStats",
     "Processor",
+    "ProcessorCrashed",
     "ProgressMonitor",
     "ReliableTransport",
     "ReorganizeError",

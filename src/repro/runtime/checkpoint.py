@@ -1,0 +1,311 @@
+"""Coordinated checkpoint/restart for fail-stop crash tolerance.
+
+The paper (and the iPSC/860 it targets) assumes processors never die;
+:mod:`repro.runtime.faults` can now kill one mid-program.  This module
+is the recovery half: each processor periodically snapshots its local
+state, every delivered message and every consumed payload is logged,
+and after a crash the machine rolls the whole system back to the last
+per-processor checkpoints and replays deterministically.
+
+Why uncoordinated per-processor checkpoints are consistent here
+----------------------------------------------------------------
+
+Classic coordinated checkpointing (Chandy-Lamport) needs marker rounds
+because an arbitrary set of local snapshots can capture a message as
+*received but never sent* or lose one *sent but never received*.  This
+runtime sidesteps both hazards:
+
+* Execution is **deterministic**: a node program's operation sequence
+  (compute, send, recv) is a pure function of ``(program, params,
+  myp)``, and all fault decisions are hash-driven.  Replaying from any
+  operation index therefore reproduces the original run bit-for-bit.
+* Recovery **replays, never re-receives**: a restarted processor
+  fast-forwards through the operations its snapshot already covers --
+  sends are suppressed (their deliveries are in the log), receives are
+  satisfied from the **receive log** -- and goes live exactly at its
+  snapshot's operation index with its arrays, transport sequence
+  state, stash and multicast cache restored.
+* Messages **crossing the cut** (sent before the sender's snapshot,
+  consumed after the receiver's) are re-injected from the **delivery
+  log**; messages the *receiver* consumed before its snapshot are not
+  re-injected, and duplicates produced by a sender re-sending past its
+  own cut are absorbed by the reliable transport's sequence-number
+  dedup (the receiver's seen-set is restored with its snapshot) or by
+  the stash's idempotent overwrite under the direct channel.
+
+So any combination of per-processor cut points is a recoverable global
+state -- the logs play the role of the marker rounds, which is why
+checkpoints can be taken at dependence-level boundaries (communication
+calls) with no inter-processor coordination and no quiescence.
+
+Cost model: each snapshot charges ``checkpoint_word_time`` per local
+array word to the processor's clock; each rollback charges the
+machine-level ``restart_penalty`` plus the word cost of reloading the
+snapshot, and every processor resumes no earlier than the crash's
+model time -- so the makespan of a crashed-and-recovered run prices
+the lost work plus the recovery, exactly what
+``benchmarks/bench_checkpoint_overhead.py`` sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CheckpointPolicy", "CheckpointStore", "Snapshot"]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to snapshot: every K operations and/or every T model-time
+    units (whichever fires first; both may be active).
+
+    ``every_ops`` counts processor operations (compute, send, recv) --
+    the runtime's proxy for outermost-iteration boundaries, since the
+    generated SPMD code executes a fixed, deterministic operation
+    sequence per iteration.  ``interval`` is in the simulator's
+    abstract time units (same scale as
+    :class:`~repro.runtime.machine.CostModel`).
+    """
+
+    every_ops: Optional[int] = None
+    interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.every_ops is not None and self.every_ops < 1:
+            raise ValueError("every_ops must be >= 1")
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError("interval must be positive")
+
+    @property
+    def active(self) -> bool:
+        return self.every_ops is not None or self.interval is not None
+
+    def due(self, pc: int, clock: float, next_time: float) -> bool:
+        if self.every_ops is not None and pc % self.every_ops == 0:
+            return True
+        if self.interval is not None and clock >= next_time:
+            return True
+        return False
+
+
+@dataclass
+class Snapshot:
+    """One processor's complete recoverable state at an op boundary.
+
+    ``pc`` is the loop cursor: the index of the last operation this
+    snapshot covers.  ``words`` is the snapshot's size in array words
+    (what restore will be charged for).  The transport sequence state
+    (``next_seq`` per destination, ``seen_seqs`` dedup set) travels
+    with the snapshot so a restarted ARQ neither reuses nor skips
+    sequence numbers.
+    """
+
+    pc: int
+    clock: float
+    stats: object
+    arrays: Dict[str, "object"]
+    next_seq: Dict[Tuple[int, ...], int]
+    seen_seqs: set
+    stash: Dict[tuple, Tuple[List[float], float]]
+    mc_cache: Dict[tuple, List[float]]
+    next_cp_time: float
+    words: int
+
+
+@dataclass
+class _Delivery:
+    """One logical message observed entering a mailbox."""
+
+    src: Tuple[int, ...]
+    seq: Optional[int]
+    tag: tuple
+    payload: List[float]
+    arrival: float
+    sender_pc: int
+
+
+@dataclass
+class _Recv:
+    """One payload consumed by a node program (for replay)."""
+
+    pc: int
+    tag: tuple
+    payload: List[float]
+
+
+class CheckpointStore:
+    """Snapshots plus the delivery/receive logs that make them
+    globally consistent (see the module docstring).
+
+    One store lives for one :meth:`Machine.run` call, across all
+    incarnations.  All mutation happens from processor threads on
+    their own keys, or from the supervision loop while every worker
+    thread is joined, so per-key access needs no locking; the delivery
+    log is guarded because any sender may append to any destination.
+    """
+
+    def __init__(self, policy: Optional[CheckpointPolicy] = None):
+        import threading
+
+        self.policy = policy or CheckpointPolicy()
+        self.snapshots: Dict[Tuple[int, ...], Snapshot] = {}
+        self.recv_logs: Dict[Tuple[int, ...], List[_Recv]] = {}
+        self._deliveries: Dict[Tuple[Tuple[int, ...], tuple], _Delivery] = {}
+        self._dlock = threading.Lock()
+        self.checkpoints_taken = 0
+        self.words_checkpointed = 0
+
+    # -- snapshotting --------------------------------------------------------
+
+    def snapshot(self, proc) -> Snapshot:
+        """Capture ``proc``'s state after its current operation."""
+        import copy
+
+        arrays = {name: arr.copy() for name, arr in proc.arrays.items()}
+        words = int(sum(arr.size for arr in arrays.values()))
+        snap = Snapshot(
+            pc=proc._pc,
+            clock=proc.clock,
+            stats=replace(proc.stats),
+            arrays=arrays,
+            next_seq=dict(proc._next_seq),
+            seen_seqs=set(proc._seen_seqs),
+            stash={
+                tag: (list(payload), arrival)
+                for tag, (payload, arrival) in proc._stash.items()
+            },
+            mc_cache={
+                tag: list(payload)
+                for tag, payload in proc._mc_cache.items()
+            },
+            next_cp_time=proc._next_cp_time,
+            words=words,
+        )
+        self.snapshots[proc.myp] = snap
+        return snap
+
+    def baseline(self, proc) -> Snapshot:
+        """The implicit pc=0 checkpoint: initial state, free of charge.
+
+        Always present, so recovery works even with no checkpoint
+        policy configured -- the rollback then simply replays the whole
+        program (maximal lost work, zero checkpoint overhead)."""
+        return self.snapshot(proc)
+
+    def maybe_checkpoint(self, proc) -> bool:
+        """Policy check + snapshot + cost accounting, called by the
+        processor after each live operation."""
+        policy = self.policy
+        if not policy.active:
+            return False
+        if not policy.due(proc._pc, proc.clock, proc._next_cp_time):
+            return False
+        cost = proc.machine.cost
+        words = int(sum(arr.size for arr in proc.arrays.values()))
+        charge = cost.checkpoint_word_time * words
+        proc.clock += charge
+        proc.stats.checkpoints += 1
+        proc.stats.checkpoint_time += charge
+        if policy.interval is not None:
+            proc._next_cp_time = proc.clock + policy.interval
+        self.snapshot(proc)
+        self.checkpoints_taken += 1
+        self.words_checkpointed += words
+        return True
+
+    # -- logs ----------------------------------------------------------------
+
+    def log_delivery(self, dest: Tuple[int, ...], envelope) -> None:
+        """Record one logical message entering ``dest``'s mailbox.
+
+        Keyed by ``(dest, tag)``: retransmitted/duplicated copies of a
+        logical message carry the same tag and payload, so the first
+        copy wins and the log stays one-entry-per-message."""
+        key = (tuple(dest), envelope.tag)
+        with self._dlock:
+            if key not in self._deliveries:
+                self._deliveries[key] = _Delivery(
+                    src=tuple(envelope.src),
+                    seq=envelope.seq,
+                    tag=envelope.tag,
+                    payload=list(envelope.payload),
+                    arrival=envelope.arrival,
+                    sender_pc=envelope.sender_pc,
+                )
+
+    def log_recv(self, myp: Tuple[int, ...], pc: int, tag: tuple,
+                 payload: List[float]) -> None:
+        self.recv_logs.setdefault(myp, []).append(
+            _Recv(pc=pc, tag=tag, payload=list(payload))
+        )
+
+    def replay_recv(self, proc) -> List[float]:
+        """The payload ``proc``'s next fast-forwarded recv consumed in
+        the original timeline."""
+        log = self.recv_logs.get(proc.myp, ())
+        idx = proc._replay_idx
+        if idx >= len(log) or log[idx].pc != proc._pc:
+            raise RuntimeError(
+                f"replay diverged on processor {proc.myp}: op {proc._pc} "
+                f"expects receive-log entry {idx} "
+                f"(have {len(log)} entries"
+                + (f", next at op {log[idx].pc}" if idx < len(log) else "")
+                + ") -- the node program is not deterministic"
+            )
+        proc._replay_idx += 1
+        return list(log[idx].payload)
+
+    # -- rollback support ----------------------------------------------------
+
+    def truncate_recv_logs(self) -> None:
+        """Drop log entries past each processor's cut; the aborted
+        incarnation's suffix will be re-consumed (and re-logged) live."""
+        for myp, log in self.recv_logs.items():
+            snap = self.snapshots.get(myp)
+            cut = snap.pc if snap is not None else 0
+            keep = [rec for rec in log if rec.pc <= cut]
+            if len(keep) != len(log):
+                self.recv_logs[myp] = keep
+
+    def reinjections(self, dest: Tuple[int, ...]) -> List[_Delivery]:
+        """Messages that crossed ``dest``'s cut: delivered in a past
+        incarnation by a send the restarted sender will *skip* (its
+        ``sender_pc`` is inside the sender's snapshot), and neither
+        consumed by ``dest`` before its own cut nor already sitting in
+        its restored stash.  These must be re-materialized into the
+        fresh mailbox; everything else is either already in the
+        snapshot or will be re-sent live."""
+        dest = tuple(dest)
+        snap = self.snapshots[dest]
+        consumed = {
+            rec.tag
+            for rec in self.recv_logs.get(dest, ())
+            if rec.pc <= snap.pc
+        }
+        out = []
+        with self._dlock:
+            records = [
+                rec for (d, _tag), rec in self._deliveries.items()
+                if d == dest
+            ]
+        for rec in records:
+            sender_snap = self.snapshots.get(rec.src)
+            sender_cut = sender_snap.pc if sender_snap is not None else 0
+            if rec.sender_pc > sender_cut:
+                continue  # the restarted sender will re-send this live
+            if rec.tag in consumed or rec.tag in snap.stash:
+                continue
+            out.append(rec)
+        out.sort(key=lambda rec: (rec.arrival, repr(rec.tag)))
+        return out
+
+    # -- reporting -----------------------------------------------------------
+
+    def checkpoint_positions(
+        self,
+    ) -> Dict[Tuple[int, ...], Tuple[int, float]]:
+        return {
+            myp: (snap.pc, snap.clock)
+            for myp, snap in self.snapshots.items()
+        }

@@ -33,6 +33,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
+    "CrashError",
+    "CrashEvent",
+    "CrashReport",
     "DeadlockError",
     "DeadlockReport",
     "ProcSnapshot",
@@ -50,6 +53,83 @@ class DeadlockError(Exception):
     """
 
     def __init__(self, message: str, report: "DeadlockReport | None" = None):
+        if report is not None:
+            message = f"{message}\n{report.format()}"
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One fail-stop crash observed by the supervision loop."""
+
+    myp: Tuple[int, ...]
+    model_time: float
+    op_index: int
+    incarnation: int
+    cause: str  # 'scheduled' | 'random'
+
+    def describe(self) -> str:
+        return (
+            f"processor {self.myp} died at t={self.model_time:g} "
+            f"(op {self.op_index}, incarnation {self.incarnation}, "
+            f"{self.cause})"
+        )
+
+
+@dataclass
+class CrashReport:
+    """Structured post-mortem when crash recovery gives up.
+
+    Built by the machine's supervision loop after ``max_restarts``
+    rollbacks have been spent (or immediately, with
+    ``max_restarts=0``): which processors died, when, how many
+    restarts were attempted, and where each processor's last usable
+    checkpoint sits -- everything an operator needs to size the
+    checkpoint interval or the restart budget.
+    """
+
+    events: List[CrashEvent]
+    restarts_attempted: int
+    max_restarts: int
+    #: per-processor (checkpoint op index, checkpoint model time)
+    checkpoints: Dict[Tuple[int, ...], Tuple[int, float]]
+    checkpoints_taken: int
+
+    @property
+    def dead(self) -> List[Tuple[int, ...]]:
+        """Coordinates of every processor that crashed, in event order."""
+        return [event.myp for event in self.events]
+
+    def format(self, max_items: int = 8) -> str:
+        lines = [
+            f"crash report: {len(self.events)} fail-stop crash(es), "
+            f"{self.restarts_attempted}/{self.max_restarts} restart(s) "
+            f"spent, {self.checkpoints_taken} checkpoint(s) taken"
+        ]
+        for event in self.events[:max_items]:
+            lines.append(f"  {event.describe()}")
+        if len(self.events) > max_items:
+            lines.append(f"  ... (+{len(self.events) - max_items})")
+        for myp in sorted(self.checkpoints):
+            pc, clock = self.checkpoints[myp]
+            lines.append(
+                f"  processor {myp}: last checkpoint at op {pc}, "
+                f"t={clock:.1f}"
+            )
+        return "\n".join(lines)
+
+
+class CrashError(Exception):
+    """Crash recovery gave up: the run cannot be completed.
+
+    Raised by the machine after a fail-stop crash when the restart
+    budget is exhausted (graceful degradation: a structured report
+    instead of a hang, a deadlock, or a raw thread death).  Carries
+    the :class:`CrashReport` as ``.report``.
+    """
+
+    def __init__(self, message: str, report: "CrashReport | None" = None):
         if report is not None:
             message = f"{message}\n{report.format()}"
         super().__init__(message)
@@ -169,10 +249,33 @@ class ProgressMonitor:
         with self._lock:
             self._sends.append((tuple(src), tuple(dest), tag, delivered))
 
-    def record_delivery(self) -> None:
-        """A physical copy entered some mailbox."""
+    def record_delivery(self, dest=None) -> bool:
+        """A physical copy is about to enter ``dest``'s mailbox.
+
+        Returns False when the destination's thread has already exited
+        (finished, failed, or crashed): the copy should be discarded
+        rather than parked forever in a mailbox nobody will drain --
+        otherwise one late duplicate to a finished processor would
+        blind the deadlock detector (``in_flight`` never returns to 0).
+        """
         with self._lock:
+            if dest is not None and tuple(dest) in self.finished:
+                return False
             self.in_flight += 1
+            return True
+
+    def deliver_envelope(self, dest, envelope) -> bool:
+        """Atomically count and enqueue one copy (or discard it if the
+        destination already exited).  The count and the enqueue happen
+        under one lock so a concurrent ``finish``-drain can never strand
+        a counted copy in a dead mailbox."""
+        dest = tuple(dest)
+        with self._lock:
+            if dest in self.finished:
+                return False
+            self.in_flight += 1
+            self.machine.procs[dest].mailbox.put(envelope)
+            return True
 
     def record_dequeued(self) -> None:
         """A physical copy left a mailbox (stashed or dedup-dropped)."""
@@ -198,13 +301,35 @@ class ProgressMonitor:
 
     def finish(self, myp: Tuple[int, ...], clean: bool = True) -> None:
         """``myp``'s thread exited (cleanly or with an error); a death
-        can complete a deadlock for the survivors, so re-check."""
+        can complete a deadlock for the survivors, so re-check.
+
+        The processor's mailbox is drained: whatever is still parked
+        there will never be dequeued, so it must leave the in-flight
+        count for the deadlock test to stay exact (this is what lets a
+        crashed processor's unread messages complete a deadlock
+        diagnosis for the survivors instantly).
+        """
         with self._lock:
             self.blocked.pop(myp, None)
             self.finished.add(myp)
             if not clean:
                 self.failed.add(myp)
+            self._drain_locked(myp)
             self._check_locked()
+
+    def _drain_locked(self, myp: Tuple[int, ...]) -> None:
+        proc = self.machine.procs.get(myp)
+        if proc is None:
+            return
+        import queue as _queue
+
+        while True:
+            try:
+                item = proc.mailbox.get_nowait()
+            except _queue.Empty:
+                return
+            if item is not WAKE:
+                self.in_flight -= 1
 
     # -- detection -----------------------------------------------------------
 

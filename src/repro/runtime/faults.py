@@ -32,16 +32,54 @@ Fault classes modeled (all optional, all off by default):
 ``stall_rate`` / ``stall_time``
     probability a processor suffers a transient stall (OS jitter,
     contention) at a communication call, costing about ``stall_time``
-    model-time units.
+    model-time units;
+``crash_rate`` / ``crashes``
+    **fail-stop processor crashes**: ``crash_rate`` is the probability
+    a processor dies at a communication call, and ``crashes`` is an
+    explicit schedule ``{rank: model_time}`` -- the named processor
+    dies the first time its clock reaches that model time.  Crash
+    decisions are keyed by ``(proc, op_index, incarnation)``, so a
+    restarted incarnation re-rolls its dice (a rebooted node is not
+    doomed to die at the same instruction forever), while the whole
+    run remains a pure function of the seed.  Recovery lives in
+    :mod:`repro.runtime.checkpoint`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from hashlib import blake2b
-from typing import Tuple
+from typing import Mapping, Optional, Tuple, Union
 
-__all__ = ["FaultPlan"]
+__all__ = ["FaultPlan", "ProcessorCrashed"]
+
+
+class ProcessorCrashed(Exception):
+    """A fail-stop crash fault fired on one processor.
+
+    Raised inside the processor's own thread to kill it mid-program;
+    the machine's supervision loop catches it and either rolls every
+    processor back to the last checkpoint or gives up with a
+    :class:`~repro.runtime.diagnostics.CrashError`.
+    """
+
+    def __init__(
+        self,
+        myp: Tuple[int, ...],
+        model_time: float,
+        op_index: int,
+        incarnation: int,
+        cause: str,
+    ):
+        super().__init__(
+            f"processor {myp} crashed at t={model_time:g} "
+            f"(op {op_index}, incarnation {incarnation}, {cause})"
+        )
+        self.myp = myp
+        self.model_time = model_time
+        self.op_index = op_index
+        self.incarnation = incarnation
+        self.cause = cause
 
 
 @dataclass(frozen=True)
@@ -61,9 +99,22 @@ class FaultPlan:
     ack_drop_rate: float | None = None
     stall_rate: float = 0.0
     stall_time: float = 200.0
+    crash_rate: float = 0.0
+    #: explicit fail-stop schedule: ``{rank: model_time}``.  Ranks may
+    #: be ints (1-D spaces) or coordinate tuples; normalized to a
+    #: sorted tuple of ``(coords, time)`` pairs so the plan stays
+    #: hashable.
+    crashes: Union[
+        Mapping[Union[int, Tuple[int, ...]], float],
+        Tuple[Tuple[Tuple[int, ...], float], ...],
+        None,
+    ] = None
 
     def __post_init__(self) -> None:
-        for name in ("drop_rate", "dup_rate", "reorder_rate", "stall_rate"):
+        for name in (
+            "drop_rate", "dup_rate", "reorder_rate", "stall_rate",
+            "crash_rate",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
@@ -73,6 +124,21 @@ class FaultPlan:
             )
         if self.max_delay < 0 or self.stall_time < 0:
             raise ValueError("max_delay and stall_time must be non-negative")
+        if self.crashes is not None:
+            normalized = []
+            items = (
+                self.crashes.items()
+                if isinstance(self.crashes, Mapping)
+                else self.crashes
+            )
+            for rank, when in items:
+                coords = (rank,) if isinstance(rank, int) else tuple(rank)
+                if when < 0:
+                    raise ValueError(
+                        f"crash time must be non-negative, got {when!r}"
+                    )
+                normalized.append((coords, float(when)))
+            object.__setattr__(self, "crashes", tuple(sorted(normalized)))
 
     # -- derived ------------------------------------------------------------
 
@@ -90,6 +156,10 @@ class FaultPlan:
             or self.reorder_rate > 0
             or self.effective_ack_drop_rate > 0
         )
+
+    @property
+    def any_crash_faults(self) -> bool:
+        return self.crash_rate > 0 or bool(self.crashes)
 
     # -- the deterministic variate stream -----------------------------------
 
@@ -156,6 +226,28 @@ class FaultPlan:
         jitter = self._frac("stall-amount", myp, op_index)
         return self.stall_time * (0.5 + jitter)
 
+    # -- fail-stop crashes ----------------------------------------------------
+
+    def crashes_at(
+        self, myp: Tuple[int, ...], op_index: int, incarnation: int
+    ) -> bool:
+        """Does this processor die at this communication call?"""
+        if self.crash_rate <= 0:
+            return False
+        return (
+            self._frac("crash", myp, op_index, incarnation)
+            < self.crash_rate
+        )
+
+    def scheduled_crash(self, myp: Tuple[int, ...]) -> Optional[float]:
+        """The model time at which ``myp`` is scheduled to die, if any."""
+        if not self.crashes:
+            return None
+        for coords, when in self.crashes:
+            if coords == tuple(myp):
+                return when
+        return None
+
     # -- presentation --------------------------------------------------------
 
     def describe(self) -> str:
@@ -174,6 +266,13 @@ class FaultPlan:
             parts.append(
                 f"stall={self.stall_rate:.0%} (~{self.stall_time:g}t)"
             )
+        if self.crash_rate:
+            parts.append(f"crash={self.crash_rate:.1%}")
+        if self.crashes:
+            sched = ", ".join(
+                f"{coords}@{when:g}" for coords, when in self.crashes
+            )
+            parts.append(f"crash-at=[{sched}]")
         if len(parts) == 1:
             parts.append("no faults")
         return "FaultPlan(" + ", ".join(parts) + ")"

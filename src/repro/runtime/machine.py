@@ -29,7 +29,13 @@ Reliability layers (see DESIGN.md "Runtime reliability"):
 * a central :class:`~.diagnostics.ProgressMonitor` detects true
   deadlock (all live processors blocked in ``recv`` with an empty
   in-flight set) instantly and reports it with a structured audit,
-  instead of waiting out the wall-clock timeout.
+  instead of waiting out the wall-clock timeout;
+* **fail-stop crashes** (``FaultPlan.crash_rate`` / ``crashes``) kill a
+  processor thread mid-program; a supervision loop in :meth:`Machine.run`
+  detects the death, rolls every processor back to its last
+  :mod:`~.checkpoint` snapshot, replays deterministically on fresh
+  threads, and gives up with a structured
+  :class:`~.diagnostics.CrashError` once ``max_restarts`` is spent.
 """
 
 from __future__ import annotations
@@ -37,15 +43,22 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from ..decomp import DataDecomp, ProcSpace
 from ..ir import Program, allocate_arrays
-from .diagnostics import WAKE, DeadlockError, ProgressMonitor
-from .faults import FaultPlan
+from .checkpoint import CheckpointPolicy, CheckpointStore
+from .diagnostics import (
+    WAKE,
+    CrashError,
+    CrashEvent,
+    DeadlockError,
+    ProgressMonitor,
+)
+from .faults import FaultPlan, ProcessorCrashed
 from .transport import (
     DirectTransport,
     Envelope,
@@ -73,6 +86,12 @@ class CostModel:
     beta: float = 4.0
     latency: float = 100.0
     recv_overhead: float = 100.0
+    #: cost per local array word written to (or reloaded from) stable
+    #: storage by the checkpoint subsystem
+    checkpoint_word_time: float = 2.0
+    #: fixed cost of detecting a crash and restarting a processor
+    #: (failure-detector latency + reboot), charged once per rollback
+    restart_penalty: float = 2000.0
 
 
 @dataclass
@@ -92,6 +111,9 @@ class ProcStats:
     messages_lost: int = 0
     timeout_time: float = 0.0
     fault_stall_time: float = 0.0
+    # -- crash-tolerance accounting ------------------------------------------
+    checkpoints: int = 0
+    checkpoint_time: float = 0.0
 
 
 @dataclass
@@ -101,13 +123,34 @@ class RunResult:
     makespan: float
     total_messages: int
     total_words: int
+    #: number of coordinated rollbacks the supervision loop performed
+    restarts: int = 0
+    #: model time spent recovering, summed over processors and rollbacks
+    #: (failure detection, restart penalty, snapshot reload, lost work)
+    recovery_time: float = 0.0
+    #: checkpoints taken by the policy (the free pc=0 baseline excluded)
+    checkpoints: int = 0
+    #: every fail-stop crash observed, in order
+    crash_events: List[CrashEvent] = field(default_factory=list)
 
     def stat_sum(self, attr: str) -> float:
         return sum(getattr(s, attr) for s in self.stats.values())
 
 
 class Processor:
-    """One physical processor executing a node program."""
+    """One physical processor executing a node program.
+
+    Every node-program operation (compute, send, multicast, receive)
+    advances ``_pc``, the processor's **loop cursor** -- a deterministic
+    operation index the checkpoint subsystem uses as its snapshot
+    coordinate.  After a rollback the processor is rebuilt with
+    ``_ff_target`` set to its snapshot's cursor: operations up to the
+    target are *fast-forwarded* (computes and sends are suppressed,
+    receives are satisfied from the receive log), the snapshot is
+    applied in place the instant the cursor reaches the target, and
+    execution continues live from there -- deterministically identical
+    to the original timeline (see :mod:`repro.runtime.checkpoint`).
+    """
 
     def __init__(
         self,
@@ -130,11 +173,24 @@ class Processor:
         # the sender, per-source seen-sequence sets at the receiver
         self._next_seq: Dict[Tuple[int, ...], int] = {}
         self._seen_seqs: set = set()
-        self._op_index = 0
+        # crash-tolerance state (see class docstring)
+        self._pc = 0
+        self._ff_target = 0
+        self._replay_idx = 0
+        self._incarnation = 0
+        self._resume_clock = 0.0
+        store = machine.checkpoints
+        interval = store.policy.interval if store is not None else None
+        self._next_cp_time = (
+            interval if interval is not None else float("inf")
+        )
 
     # -- node program API ---------------------------------------------------
 
     def execute(self, stmt_name: str, env: Mapping[str, int]) -> None:
+        if self._advance():
+            return
+        self._maybe_crash(comm=False)
         stmt = self._stmts[stmt_name]
         full_env = dict(self.params)
         full_env.update(env)
@@ -144,10 +200,15 @@ class Processor:
         cost = flops * self.machine.cost.flop_time
         self.clock += cost
         self.stats.compute_time += cost
+        self._after_op()
 
     def send(self, dest: Tuple[int, ...], tag: tuple, payload: List[float]):
+        if self._advance():
+            return
+        self._maybe_crash()
         self._maybe_stall()
         self.machine.transport.send(self, dest, tag, payload)
+        self._after_op()
 
     def multicast(
         self,
@@ -156,12 +217,19 @@ class Processor:
         payload: List[float],
     ) -> None:
         """Optimized multi-cast: one startup, per-destination wire cost."""
+        if self._advance():
+            return
+        self._maybe_crash()
         self._maybe_stall()
         self.machine.transport.multicast(self, dests, tag, payload)
+        self._after_op()
 
     def recv(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
         # ``src`` is advisory (kept for readable generated code); the tag
         # alone identifies the message -- it embeds the virtual sender.
+        if self._advance():
+            return self.machine.checkpoints.replay_recv(self)
+        self._maybe_crash()
         self._maybe_stall()
         machine = self.machine
         monitor = machine.monitor
@@ -207,6 +275,11 @@ class Processor:
             self.stats.stall_time += arrival - ready
         self.clock = max(ready, arrival)
         self.stats.messages_received += 1
+        store = machine.checkpoints
+        if store is not None:
+            store.log_recv(self.myp, self._pc, tag, payload)
+            self._replay_idx += 1
+        self._after_op()
         return payload
 
     def recv_mc(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
@@ -244,13 +317,81 @@ class Processor:
 
     def _maybe_stall(self) -> None:
         plan = self.machine.fault_plan
-        self._op_index += 1
         if plan is None or plan.stall_rate <= 0:
             return
-        stall = plan.stall(self.myp, self._op_index)
+        stall = plan.stall(self.myp, self._pc)
         if stall > 0:
             self.clock += stall
             self.stats.fault_stall_time += stall
+
+    # -- crash-tolerance internals -------------------------------------------
+
+    def _advance(self) -> bool:
+        """Advance the loop cursor; True while fast-forwarding.
+
+        During recovery the operation whose index *equals* the snapshot
+        cut is still skipped (the snapshot captured its effects); the
+        snapshot state is applied the moment the cursor reaches the
+        cut, so the *next* operation runs live on restored state.
+        """
+        self._pc += 1
+        if self._pc > self._ff_target:
+            return False
+        if self._pc == self._ff_target:
+            self._restore()
+        return True
+
+    def _restore(self) -> None:
+        """Apply this processor's snapshot in place (end of replay)."""
+        snap = self.machine.checkpoints.snapshots[self.myp]
+        for name, arr in snap.arrays.items():
+            self.arrays[name][...] = arr
+        self._next_seq = dict(snap.next_seq)
+        self._seen_seqs = set(snap.seen_seqs)
+        self._stash = {
+            tag: (list(payload), arrival)
+            for tag, (payload, arrival) in snap.stash.items()
+        }
+        self._mc_cache = {
+            tag: list(payload) for tag, payload in snap.mc_cache.items()
+        }
+        self.stats = _dc_replace(snap.stats)
+        self._next_cp_time = snap.next_cp_time
+        self.clock = self._resume_clock
+
+    def _maybe_crash(self, comm: bool = True) -> None:
+        """Fail-stop fault check, evaluated before each live operation."""
+        plan = self.machine.fault_plan
+        if plan is None or not plan.any_crash_faults:
+            return
+        self._check_scheduled(plan)
+        if comm and plan.crashes_at(self.myp, self._pc, self._incarnation):
+            raise ProcessorCrashed(
+                self.myp, self.clock, self._pc, self._incarnation, "random"
+            )
+
+    def _check_scheduled(self, plan: FaultPlan) -> None:
+        when = plan.scheduled_crash(self.myp)
+        if (
+            when is not None
+            and self.clock >= when
+            and self.machine._arm_crash(self.myp)
+        ):
+            raise ProcessorCrashed(
+                self.myp, self.clock, self._pc, self._incarnation,
+                "scheduled",
+            )
+
+    def _after_op(self) -> None:
+        store = self.machine.checkpoints
+        if store is not None:
+            store.maybe_checkpoint(self)
+        # re-check the schedule *after* the op advanced the clock, so a
+        # processor whose clock jumps past the deadline inside its last
+        # few operations still dies (the op completes, then the crash)
+        plan = self.machine.fault_plan
+        if plan is not None and plan.crashes:
+            self._check_scheduled(plan)
 
 
 class Machine:
@@ -277,6 +418,8 @@ class Machine:
         rto: Optional[float] = None,
         backoff: float = 2.0,
         transport: Optional[Transport] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
+        max_restarts: int = 3,
     ):
         self.program = program
         self.space = space
@@ -290,6 +433,23 @@ class Machine:
         self.transport = transport or self._select_transport(
             reliability, max_retries, rto, backoff
         )
+        self.checkpoint_policy = checkpoint
+        self.max_restarts = max_restarts
+        #: live only while a crash-tolerant run is in progress; None on
+        #: the default path so checkpointing costs nothing when unused
+        self.checkpoints: Optional[CheckpointStore] = None
+        self._fired_crashes: set = set()
+        self._crash_lock = threading.Lock()
+
+    def _arm_crash(self, myp: Tuple[int, ...]) -> bool:
+        """Claim a scheduled crash for ``myp``; True exactly once per
+        run, so a restarted incarnation does not re-die at the same
+        scheduled instant."""
+        with self._crash_lock:
+            if myp in self._fired_crashes:
+                return False
+            self._fired_crashes.add(myp)
+            return True
 
     def _select_transport(
         self,
@@ -326,8 +486,10 @@ class Machine:
         raise ValueError(f"unknown reliability mode: {reliability!r}")
 
     def deliver(self, dest: Tuple[int, ...], envelope: Envelope) -> None:
-        self.monitor.record_delivery()
-        self.procs[tuple(dest)].mailbox.put(envelope)
+        dest = tuple(dest)
+        if self.checkpoints is not None:
+            self.checkpoints.log_delivery(dest, envelope)
+        self.monitor.deliver_envelope(dest, envelope)
 
     def initial_arrays(
         self,
@@ -364,13 +526,83 @@ class Machine:
         seed: int = 0,
     ) -> RunResult:
         coords = [tuple(c) for c in self.space.all_physical(self.params)]
+        # crash tolerance is armed only when it can matter, so the
+        # default path carries zero logging/snapshot overhead
+        want_store = (
+            self.checkpoint_policy is not None
+            and self.checkpoint_policy.active
+        ) or (
+            self.fault_plan is not None and self.fault_plan.any_crash_faults
+        )
+        self.checkpoints = (
+            CheckpointStore(self.checkpoint_policy) if want_store else None
+        )
+        self._fired_crashes = set()
         self.procs = {
             myp: Processor(
                 self, myp, self.initial_arrays(myp, initial_data, seed)
             )
             for myp in coords
         }
+        if self.checkpoints is not None:
+            for proc in self.procs.values():
+                self.checkpoints.baseline(proc)
         self.monitor.reset(total=len(self.procs))
+
+        restarts = 0
+        recovery_time = 0.0
+        crash_events: List[CrashEvent] = []
+        while True:
+            failures = self._run_incarnation(node_fn)
+            crashes = [
+                exc for _, exc in failures
+                if isinstance(exc, ProcessorCrashed)
+            ]
+            if not crashes:
+                self._raise_failures(failures)
+                break
+            events = [
+                CrashEvent(
+                    myp=exc.myp,
+                    model_time=exc.model_time,
+                    op_index=exc.op_index,
+                    incarnation=exc.incarnation,
+                    cause=exc.cause,
+                )
+                for exc in crashes
+            ]
+            crash_events.extend(events)
+            if self.checkpoints is None or restarts >= self.max_restarts:
+                report = self._build_crash_report(crash_events, restarts)
+                dead = ", ".join(str(myp) for myp in report.dead)
+                raise CrashError(
+                    f"crash recovery gave up after {restarts} restart(s) "
+                    f"(budget {self.max_restarts}); dead processor(s): "
+                    f"{dead}",
+                    report=report,
+                )
+            restarts += 1
+            recovery_time += self._rollback(events, restarts)
+
+        store = self.checkpoints
+        stats = {myp: proc.stats for myp, proc in self.procs.items()}
+        return RunResult(
+            arrays={myp: proc.arrays for myp, proc in self.procs.items()},
+            stats=stats,
+            makespan=max(proc.clock for proc in self.procs.values()),
+            total_messages=sum(s.messages_sent for s in stats.values()),
+            total_words=sum(s.words_sent for s in stats.values()),
+            restarts=restarts,
+            recovery_time=recovery_time,
+            checkpoints=store.checkpoints_taken if store else 0,
+            crash_events=crash_events,
+        )
+
+    def _run_incarnation(
+        self, node_fn: Callable
+    ) -> List[Tuple[Tuple[int, ...], BaseException]]:
+        """Run every processor thread to completion once; reap ALL
+        threads (even on failure paths) and return the failures."""
         failures: List[Tuple[Tuple[int, ...], BaseException]] = []
         failures_lock = threading.Lock()
 
@@ -391,21 +623,92 @@ class Machine:
         ]
         for t in threads:
             t.start()
+        # one shared wall-clock budget for the whole incarnation
+        deadline = time.monotonic() + self.timeout * 4
         for t in threads:
-            t.join(timeout=self.timeout * 4)
-            if t.is_alive():
-                raise DeadlockError(
-                    "node program did not terminate",
-                    report=self.monitor.build_report(),
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        leaked = [t for t in threads if t.is_alive()]
+        if leaked:
+            # wake anything still blocked in recv so the threads can
+            # observe the failure and exit instead of leaking
+            for proc in self.procs.values():
+                proc.mailbox.put(WAKE)
+            for t in leaked:
+                t.join(timeout=2.0)
+            leaked = [t for t in threads if t.is_alive()]
+        with failures_lock:
+            done = list(failures)
+        if leaked:
+            raise DeadlockError(
+                f"node program did not terminate "
+                f"({len(leaked)} worker thread(s) leaked)",
+                report=self.monitor.build_report(),
+            )
+        return done
+
+    def _rollback(
+        self, events: List[CrashEvent], incarnation: int
+    ) -> float:
+        """Coordinated rollback: rebuild every processor from its last
+        snapshot, re-inject cross-cut messages, charge recovery costs.
+
+        Returns the model time added to the critical path by this
+        rollback (lost work is re-executed and re-charged by the
+        replay itself; this accounts detection + restart + reload)."""
+        store = self.checkpoints
+        assert store is not None
+        store.truncate_recv_logs()
+        crash_time = max(event.model_time for event in events)
+        cost = self.cost
+        recovered = 0.0
+        fresh: Dict[Tuple[int, ...], Processor] = {}
+        for myp, old in self.procs.items():
+            snap = store.snapshots[myp]
+            # nobody resumes before the failure was detected; everyone
+            # pays the restart penalty and the snapshot reload
+            resume = (
+                max(snap.clock, crash_time)
+                + cost.restart_penalty
+                + cost.checkpoint_word_time * snap.words
+            )
+            recovered += resume - snap.clock
+            proc = Processor(
+                self,
+                myp,
+                {name: arr.copy() for name, arr in snap.arrays.items()},
+            )
+            proc._incarnation = incarnation
+            proc._ff_target = snap.pc
+            proc._resume_clock = resume
+            if snap.pc == 0:
+                # no fast-forward will run, so apply the snapshot now
+                proc._restore()
+            fresh[myp] = proc
+        self.procs = fresh
+        self.monitor.reset(total=len(fresh))
+        for myp in fresh:
+            for rec in store.reinjections(myp):
+                self.monitor.deliver_envelope(
+                    myp,
+                    Envelope(
+                        rec.src, rec.seq, rec.tag, list(rec.payload),
+                        rec.arrival, rec.sender_pc,
+                    ),
                 )
-        self._raise_failures(failures)
-        stats = {myp: proc.stats for myp, proc in self.procs.items()}
-        return RunResult(
-            arrays={myp: proc.arrays for myp, proc in self.procs.items()},
-            stats=stats,
-            makespan=max(proc.clock for proc in self.procs.values()),
-            total_messages=sum(s.messages_sent for s in stats.values()),
-            total_words=sum(s.words_sent for s in stats.values()),
+        return recovered
+
+    def _build_crash_report(
+        self, events: List[CrashEvent], restarts: int
+    ) -> "CrashReport":
+        from .diagnostics import CrashReport
+
+        store = self.checkpoints
+        return CrashReport(
+            events=list(events),
+            restarts_attempted=restarts,
+            max_restarts=self.max_restarts,
+            checkpoints=store.checkpoint_positions() if store else {},
+            checkpoints_taken=store.checkpoints_taken if store else 0,
         )
 
     def _raise_failures(

@@ -63,7 +63,12 @@ class Envelope:
 
     ``seq`` is ``None`` for transports without a reliability protocol;
     reliable envelopes carry a per-(src, dest) sequence number the
-    receiver uses for dedup.
+    receiver uses for dedup.  ``sender_pc`` is the sending processor's
+    operation index at the send: the checkpoint subsystem's delivery
+    log uses it to decide, after a rollback, whether a restarted
+    sender will re-send this message live (the send lies past the
+    sender's snapshot) or whether the logged copy must be re-injected
+    (see :mod:`repro.runtime.checkpoint`).
     """
 
     src: Tuple[int, ...]
@@ -71,6 +76,7 @@ class Envelope:
     tag: tuple
     payload: List[float]
     arrival: float
+    sender_pc: int = 0
 
 
 class Transport:
@@ -109,7 +115,9 @@ class DirectTransport(Transport):
         self._count(proc, payload)
         arrival = proc.clock + machine.cost.latency
         machine.deliver(
-            dest, Envelope(proc.myp, None, tag, list(payload), arrival)
+            dest,
+            Envelope(proc.myp, None, tag, list(payload), arrival,
+                     proc._pc),
         )
         machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
 
@@ -123,7 +131,9 @@ class DirectTransport(Transport):
             self._count(proc, payload)
             arrival = proc.clock + machine.cost.latency
             machine.deliver(
-                dest, Envelope(proc.myp, None, tag, list(payload), arrival)
+                dest,
+                Envelope(proc.myp, None, tag, list(payload), arrival,
+                         proc._pc),
             )
             machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
 
@@ -158,14 +168,16 @@ class UnreliableTransport(Transport):
             return
         delay = plan.delay(proc.myp, dest, tag, 0)
         arrival = proc.clock + machine.cost.latency + delay
-        machine.deliver(dest, Envelope(proc.myp, None, tag, payload, arrival))
+        machine.deliver(
+            dest, Envelope(proc.myp, None, tag, payload, arrival, proc._pc)
+        )
         if plan.duplicates(proc.myp, dest, tag, 0):
             proc.stats.duplicates_sent += 1
             machine.deliver(
                 dest,
                 Envelope(
                     proc.myp, None, tag, payload,
-                    arrival + machine.cost.latency,
+                    arrival + machine.cost.latency, proc._pc,
                 ),
             )
         machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
@@ -235,7 +247,9 @@ class ReliableTransport(Transport):
                 )
                 arrival = proc.clock + cost.latency + delay
                 machine.deliver(
-                    dest, Envelope(proc.myp, seq, tag, payload, arrival)
+                    dest,
+                    Envelope(proc.myp, seq, tag, payload, arrival,
+                             proc._pc),
                 )
                 delivered_once = True
                 if plan is not None and plan.duplicates(
@@ -246,7 +260,7 @@ class ReliableTransport(Transport):
                         dest,
                         Envelope(
                             proc.myp, seq, tag, payload,
-                            arrival + cost.latency,
+                            arrival + cost.latency, proc._pc,
                         ),
                     )
                 ack_lost = plan is not None and plan.drops_ack(

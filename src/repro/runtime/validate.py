@@ -16,6 +16,7 @@ import numpy as np
 
 from ..decomp import DataDecomp
 from ..ir import Program, live_out_writes, run
+from .checkpoint import CheckpointPolicy
 from .faults import FaultPlan
 from .machine import CostModel, Machine, RunResult
 
@@ -30,12 +31,15 @@ def run_spmd(
     fault_plan: Optional[FaultPlan] = None,
     reliability=None,
     max_retries: int = 10,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    max_restarts: int = 3,
 ) -> RunResult:
     """Execute a generated SPMD program on the simulator.
 
     ``fault_plan``/``reliability``/``max_retries`` configure the
-    reliability subsystem (see :class:`~.machine.Machine`); defaults
-    keep the historical zero-overhead direct channel.
+    reliability subsystem; ``checkpoint``/``max_restarts`` configure
+    fail-stop crash tolerance (see :class:`~.machine.Machine`).
+    Defaults keep the historical zero-overhead direct channel.
     """
     machine = Machine(
         spmd.program,
@@ -46,6 +50,8 @@ def run_spmd(
         fault_plan=fault_plan,
         reliability=reliability,
         max_retries=max_retries,
+        checkpoint=checkpoint,
+        max_restarts=max_restarts,
     )
     return machine.run(spmd.node, initial_data=initial_data, seed=seed)
 
@@ -63,6 +69,8 @@ def check_against_sequential(
     reliability=None,
     max_retries: int = 10,
     timeout: float = 60.0,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    max_restarts: int = 3,
 ) -> RunResult:
     """Run and assert correctness; returns the RunResult on success.
 
@@ -88,6 +96,8 @@ def check_against_sequential(
         fault_plan=fault_plan,
         reliability=reliability,
         max_retries=max_retries,
+        checkpoint=checkpoint,
+        max_restarts=max_restarts,
     )
     writers = live_out_writes(program, params)
     space = spmd.space

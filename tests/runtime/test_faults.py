@@ -146,3 +146,44 @@ class TestRunReproducibility:
                 quiet.arrays[myp]["X"], stalled.arrays[myp]["X"],
                 equal_nan=True,
             )
+
+
+class TestCrashDecisionStream:
+    def test_crash_decisions_deterministic(self):
+        a = FaultPlan(seed=21, crash_rate=0.3)
+        b = FaultPlan(seed=21, crash_rate=0.3)
+        for i in range(200):
+            assert a.crashes_at((0,), i, 0) == b.crashes_at((0,), i, 0)
+
+    def test_crash_rate_calibrated(self):
+        plan = FaultPlan(seed=9, crash_rate=0.25)
+        n = 4000
+        hits = sum(plan.crashes_at((0,), i, 0) for i in range(n))
+        assert 0.20 < hits / n < 0.30
+
+    def test_crash_stream_independent_of_network_streams(self):
+        """The crash stream must not correlate with drop decisions."""
+        plan = FaultPlan(seed=4, drop_rate=0.5, crash_rate=0.5)
+        agree = sum(
+            plan.crashes_at((0,), i, 0)
+            == plan.drops((0,), (1,), ("t", i), 0)
+            for i in range(400)
+        )
+        assert 120 < agree < 280  # ~50% if independent
+
+    def test_incarnation_changes_the_stream(self):
+        plan = FaultPlan(seed=13, crash_rate=0.5)
+        diffs = sum(
+            plan.crashes_at((1,), i, 0) != plan.crashes_at((1,), i, 1)
+            for i in range(200)
+        )
+        assert diffs > 50
+
+    def test_no_crash_faults_property(self):
+        assert not FaultPlan(drop_rate=0.5).any_crash_faults
+        assert FaultPlan(crash_rate=0.01).any_crash_faults
+        assert FaultPlan(crashes={2: 9.0}).any_crash_faults
+
+    def test_plan_stays_hashable_with_crashes(self):
+        plan = FaultPlan(crashes={0: 10.0, (1,): 20.0})
+        assert hash(plan) == hash(FaultPlan(crashes={(1,): 20.0, 0: 10.0}))
