@@ -1,0 +1,134 @@
+"""Node-program execution ablation: scalar/vectorized x threads/coop.
+
+Not a paper figure -- the paper measures a real iPSC/860, while our
+runtime is a simulator -- but the simulator's wall-clock cost is the
+practical ceiling on how large an N the other benchmarks can afford.
+This ablation isolates the two execution-engine optimizations:
+
+* **vectorized node programs**: innermost compute/pack/unpack loops
+  compile to single numpy block operations (``proc.execute_block`` /
+  slice gather-scatter) with flops and clocks charged in closed form;
+* **cooperative scheduler** (``backend="coop"``): all simulated
+  processors run as coroutines on one thread in deterministic
+  virtual-time order, eliminating per-message OS thread handoffs.
+
+Both are required to be *exact*: every configuration must produce
+bit-identical final arrays, equal makespans, and identical per-processor
+``ProcStats``.  The combined configuration must be at least 5x faster
+than the shipped scalar+threads baseline on LU.
+
+Results land in ``BENCH_runtime.json`` for the CI artifact.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.codegen import SPMDOptions
+from repro.runtime import run_spmd
+from workloads import IPSC, lu_compiled, stencil_compiled
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_runtime.json"
+)
+
+#: (label, vectorize, backend) -- the shipped baseline first
+CONFIGS = (
+    ("scalar+threads", False, "threads"),
+    ("scalar+coop", False, "coop"),
+    ("vector+threads", True, "threads"),
+    ("vector+coop", True, "coop"),
+)
+
+WORKLOADS = (
+    ("lu", lu_compiled, {"N": 96, "P": 8}),
+    ("stencil", stencil_compiled, {"N": 8192, "T": 48, "P": 8}),
+)
+
+
+def _assert_identical(label, base, result):
+    assert result.makespan == base.makespan, (
+        f"{label}: makespan {result.makespan} != {base.makespan}"
+    )
+    for myp in base.arrays:
+        for name in base.arrays[myp]:
+            assert np.array_equal(
+                result.arrays[myp][name], base.arrays[myp][name],
+                equal_nan=True,
+            ), f"{label}: array {name} differs on {myp}"
+    for myp in base.stats:
+        assert result.stats[myp] == base.stats[myp], (
+            f"{label}: ProcStats differ on {myp}"
+        )
+
+
+def sweep():
+    rows = []
+    for wname, build, params in WORKLOADS:
+        compiled = {
+            vec: build(options=SPMDOptions(vectorize=vec))[2]
+            for vec in (False, True)
+        }
+        base = None
+        for label, vec, backend in CONFIGS:
+            spmd = compiled[vec]
+            t0 = time.perf_counter()
+            result = run_spmd(
+                spmd, params, cost=IPSC, timeout=300.0, backend=backend
+            )
+            seconds = time.perf_counter() - t0
+            if base is None:
+                base = result
+                base_seconds = seconds
+            else:
+                _assert_identical(f"{wname}/{label}", base, result)
+            rows.append(
+                {
+                    "workload": wname,
+                    "params": params,
+                    "config": label,
+                    "vectorize": vec,
+                    "backend": backend,
+                    "seconds": seconds,
+                    "speedup": base_seconds / seconds,
+                    "makespan": result.makespan,
+                    "messages": result.total_messages,
+                    "words": result.total_words,
+                }
+            )
+    return rows
+
+
+def test_runtime_exec_ablation(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report("Execution-engine ablation (bit-identical at every cell)")
+    report(
+        f"{'workload':>8} {'config':>15} {'seconds':>8} {'speedup':>8} "
+        f"{'makespan':>10}"
+    )
+    for row in rows:
+        report(
+            f"{row['workload']:>8} {row['config']:>15} "
+            f"{row['seconds']:>8.2f} {row['speedup']:>7.2f}x "
+            f"{row['makespan']:>10.0f}"
+        )
+
+    with open(BENCH_JSON, "w") as fh:
+        json.dump({"rows": rows}, fh, indent=2, sort_keys=True)
+
+    by = {(r["workload"], r["config"]): r for r in rows}
+    # the regression guard: vectorized+coop must beat the shipped
+    # scalar+threads baseline by >= 5x end-to-end on LU
+    lu_speedup = by[("lu", "vector+coop")]["speedup"]
+    report("")
+    report(f"LU combined speedup (vector+coop vs scalar+threads): "
+           f"{lu_speedup:.2f}x (floor: 5x)")
+    assert lu_speedup >= 5.0, (
+        f"vectorized+coop LU speedup regressed to {lu_speedup:.2f}x"
+    )
+    # vectorization alone must already help on both workloads
+    for wname, _build, _params in WORKLOADS:
+        assert by[(wname, "vector+threads")]["speedup"] > 1.0

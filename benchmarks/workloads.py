@@ -42,6 +42,15 @@ for j = 1 to N do
   s2: Y[j] = Y[j] + X[j - 1]
 """
 
+STENCIL_SRC = """
+array A[N + 2]
+array B[N + 2]
+assume N >= 1
+for t = 1 to T do
+  for i = 1 to N do
+    B[i] = (A[i - 1] + A[i] + A[i + 1]) / 3
+"""
+
 SPARSE_SRC = """
 array A[110000]
 for i = 1 to 100 do
@@ -69,4 +78,13 @@ def lu_compiled(options=None):
     s2 = program.statement("s2")
     comps = {"s1": onto(s1, [var("i2")])}
     comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
+    return program, comps, generate_spmd(program, comps, options=options)
+
+
+def stencil_compiled(block_size=32, options=None):
+    """Time-iterated 3-point relaxation (Section 2.2.1), block layout."""
+    program = parse(STENCIL_SRC, name="stencil")
+    stmt = program.statements()[0]
+    comp = block_loop(stmt, ["i"], [block_size])
+    comps = {stmt.name: comp}
     return program, comps, generate_spmd(program, comps, options=options)

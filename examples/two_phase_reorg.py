@@ -27,7 +27,7 @@ import numpy as np
 
 from repro import block, block_loop, generate_spmd, parse
 from repro.ir import allocate_arrays, run
-from repro.runtime import Machine, reorganize
+from repro.runtime import Machine, drive_node, reorganize
 from repro.runtime.machine import Processor
 
 ROWS = """
@@ -78,7 +78,7 @@ def main() -> None:
         for myp, arrays in phase1.arrays.items()
     }
     threads = [
-        threading.Thread(target=spmd_col.node, args=(proc,))
+        threading.Thread(target=drive_node, args=(spmd_col.node, proc))
         for proc in machine2.procs.values()
     ]
     for t in threads:

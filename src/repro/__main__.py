@@ -169,7 +169,8 @@ def _build_checkpoint_policy(args) -> CheckpointPolicy | None:
 def cmd_run(args) -> int:
     program = _load(args.program)
     comps = _build_comps(program, args.block)
-    spmd = generate_spmd(program, comps)
+    options = SPMDOptions(vectorize=not args.no_vectorize)
+    spmd = generate_spmd(program, comps, options=options)
     params = _parse_defs(args.define)
     plan = _build_fault_plan(args)
     policy = _build_checkpoint_policy(args)
@@ -185,6 +186,7 @@ def cmd_run(args) -> int:
             max_retries=args.max_retries,
             checkpoint=policy,
             max_restarts=args.max_restarts,
+            backend=args.backend,
         )
     except (CrashError, DeadlockError, TransportError) as exc:
         print(f"run FAILED: {type(exc).__name__}")
@@ -256,6 +258,18 @@ def main(argv=None) -> int:
     p_run.add_argument(
         "-D", "--define", action="append", metavar="NAME=VALUE",
         help="parameter values (N, T, P, ...)",
+    )
+    p_run.add_argument(
+        "--backend", choices=["threads", "coop"], default="threads",
+        help="execution engine: threads = one OS thread per simulated "
+        "processor (default), coop = all processors as coroutines on "
+        "one thread in deterministic virtual-time order (faster; same "
+        "results)",
+    )
+    p_run.add_argument(
+        "--no-vectorize", action="store_true",
+        help="disable vectorized node-program loops (compile innermost "
+        "loops to scalar per-iteration calls, as before)",
     )
     rel = p_run.add_argument_group("reliability / fault injection")
     rel.add_argument(

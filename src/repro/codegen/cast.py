@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..ir import Statement
 from ..polyhedra import (
@@ -392,22 +394,338 @@ def _py_cond(cond: Cond, rank: int) -> str:
     raise TypeError(cond)
 
 
+def _cat_payload(parts):
+    """Flatten a pack buffer into one float64 payload vector.
+
+    Pack buffers hold a mix of scalars (scalar packs) and numpy chunks
+    (vectorized packs); the send boundary flattens them into a single
+    contiguous vector whose element order and values match the
+    historical scalar list exactly.  Injected into generated node
+    programs as ``_cat``.
+    """
+    if isinstance(parts, np.ndarray):
+        return parts
+    if not parts:
+        return np.empty(0, dtype=np.float64)
+    if any(isinstance(p, np.ndarray) for p in parts):
+        return np.concatenate(
+            [np.atleast_1d(np.asarray(p, dtype=np.float64)) for p in parts]
+        )
+    return np.array(parts, dtype=np.float64)
+
+
+def _flatten(block: CBlock) -> List[CNode]:
+    out: List[CNode] = []
+    for child in block.children:
+        if isinstance(child, CBlock):
+            out.extend(_flatten(child))
+        else:
+            out.append(child)
+    return out
+
+
+def _cond_vars(cond: Cond) -> frozenset:
+    if isinstance(cond, (CondGE, CondEQ, CondDiv)):
+        return cond.expr.variables()
+    if isinstance(cond, CondBounds):
+        out = frozenset({cond.var})
+        if cond.lower is not None:
+            out |= cond.lower.variables()
+        if cond.upper is not None:
+            out |= cond.upper.variables()
+        return out
+    if isinstance(cond, CondNeqPhys):
+        out = frozenset()
+        for e in cond.left + cond.right:
+            out |= e.variables()
+        return out
+    raise TypeError(cond)
+
+
+def _pin_value(conds: Sequence[Cond], v: str) -> Optional[LinExpr]:
+    """The single value ``conds`` (all involving ``v``) pin ``v`` to.
+
+    Recognizes the three shapes the generators emit -- an equality, a
+    matching >=/<= pair, and degenerate bounds -- and returns the
+    ``v``-free affine pin, or None when the conditions select anything
+    other than one point.
+    """
+    pins: List[LinExpr] = []
+    lowers: List[LinExpr] = []
+    uppers: List[LinExpr] = []
+    for cond in conds:
+        if isinstance(cond, CondEQ):
+            a = cond.expr.coeff(v)
+            if a == 1:  # (v - E) == 0
+                pins.append(LinExpr.var(v) - cond.expr)
+            elif a == -1:  # (E - v) == 0
+                pins.append(LinExpr.var(v) + cond.expr)
+            else:
+                return None
+        elif isinstance(cond, CondGE):
+            a = cond.expr.coeff(v)
+            if a == 1:  # v >= L with L = v - expr
+                lowers.append(LinExpr.var(v) - cond.expr)
+            elif a == -1:  # v <= U with U = v + expr
+                uppers.append(LinExpr.var(v) + cond.expr)
+            else:
+                return None
+        elif isinstance(cond, CondBounds) and cond.var == v:
+            if not isinstance(cond.lower, Lin) or not isinstance(
+                cond.upper, Lin
+            ):
+                return None
+            if cond.lower.expr is not cond.upper.expr:
+                return None
+            pins.append(cond.lower.expr)
+        else:
+            return None
+    if lowers or uppers:
+        if (
+            len(lowers) != 1
+            or len(uppers) != 1
+            or lowers[0] is not uppers[0]  # LinExpr is hash-consed
+        ):
+            return None
+        pins.append(lowers[0])
+    if not pins:
+        return None
+    first = pins[0]
+    if any(p is not first for p in pins[1:]):
+        return None
+    if first.coeff(v) != 0:
+        return None
+    return first
+
+
+def _range_bounds(
+    conds: Sequence[Cond], v: str, step_src: str
+) -> Optional[Tuple[List[str], List[str]]]:
+    """Fold conditions that only *restrict the range* of ``v`` into
+    (lower, upper) bound sources, or None when any condition is not a
+    pure range restriction.
+
+    Lower bounds shift the first iterate, which is only grid-preserving
+    for unit-stride loops; with any other step they are rejected and
+    the caller falls back to pinning (or the scalar loop).
+    """
+    lowers: List[str] = []
+    uppers: List[str] = []
+    for cond in conds:
+        if isinstance(cond, CondGE):
+            a = cond.expr.coeff(v)
+            if a == 1:  # v >= v - expr
+                lowers.append(_py_expr(Lin(LinExpr.var(v) - cond.expr)))
+            elif a == -1:  # v <= v + expr
+                uppers.append(_py_expr(Lin(LinExpr.var(v) + cond.expr)))
+            else:
+                return None
+        elif isinstance(cond, CondBounds) and cond.var == v:
+            if cond.lower is not None:
+                lowers.append(_py_expr(cond.lower))
+            if cond.upper is not None:
+                uppers.append(_py_expr(cond.upper))
+        else:
+            return None
+    if lowers and step_src != "1":
+        return None
+    return lowers, uppers
+
+
+def _lin_parts_lower(b: BExpr) -> List[LinExpr]:
+    """Affine pieces ``L`` with ``lo >= L`` (lo = max of the parts)."""
+    if isinstance(b, Lin):
+        return [b.expr]
+    if isinstance(b, MaxE):
+        return [i.expr for i in b.items if isinstance(i, Lin)]
+    return []
+
+
+def _lin_parts_upper(b: BExpr) -> List[LinExpr]:
+    """Affine pieces ``U`` with ``up <= U`` (up = min of the parts)."""
+    if isinstance(b, Lin):
+        return [b.expr]
+    if isinstance(b, MinE):
+        return [i.expr for i in b.items if isinstance(i, Lin)]
+    return []
+
+
+def _outside_range(V: LinExpr, lower: BExpr, upper: BExpr) -> bool:
+    """Is iteration ``V`` provably outside ``[lower, upper]``?"""
+    for L in _lin_parts_lower(lower):
+        d = L - V
+        if d.is_constant() and d.const >= 1:  # V <= L-1 < L <= lo
+            return True
+    for U in _lin_parts_upper(upper):
+        d = V - U
+        if d.is_constant() and d.const >= 1:  # V >= U+1 > U >= up
+            return True
+    return False
+
+
+def _dim_separates(
+    wd: LinExpr,
+    rd: LinExpr,
+    v: str,
+    step: Optional[int],
+    lower: BExpr,
+    upper: BExpr,
+) -> bool:
+    """Does this subscript dimension prove ``write(i) != read(j)`` for
+    every pair of block iterations ``i < j``?
+
+    ``step`` is the loop step (None when symbolic, e.g. a virtual-loop
+    stride of P).  For a virtual loop the *declared* bounds are passed:
+    its effective range is a subset of [lower, upper], so every proof
+    below remains sound.
+    """
+    aw, ar = wd.coeff(v), rd.coeff(v)
+    bw = wd - LinExpr.var(v, aw)
+    br = rd - LinExpr.var(v, ar)
+    delta = br - bw
+    if aw == 0 and ar == 0:
+        # both loop-invariant: distinct iff the difference is a known
+        # nonzero constant
+        return delta.is_constant() and delta.const != 0
+    if aw == ar:
+        # equal strides: write(i) == read(j) forces aw*(i - j) == delta
+        if not delta.is_constant():
+            return False
+        c = delta.const
+        if c == 0:
+            return True  # i == j only: no cross-iteration aliasing
+        if c % aw != 0:
+            return True  # no integer solution at all
+        q = c // aw  # i = j + q
+        if q > 0:
+            return True  # writer strictly after reader: WAR, gather-safe
+        if step is not None and step > 1 and q % step != 0:
+            return True  # iterates are ``step`` apart; q unreachable
+        return False
+    if ar == 0:
+        # read pinned to one location; only iteration V = delta/aw
+        # writes it -- safe when V provably lies outside the block
+        if delta.is_constant() and delta.const % aw != 0:
+            return True
+        try:
+            V = delta.divide_exact(aw)
+        except ValueError:
+            return False
+        return _outside_range(V, lower, upper)
+    if aw == 0:
+        # write pinned to one location; only iteration V = -delta/ar
+        # reads it -- safe when V is outside the block, or V is the
+        # first iterate (no writer precedes it)
+        if delta.is_constant() and delta.const % ar != 0:
+            return True
+        try:
+            V = (-delta).divide_exact(ar)
+        except ValueError:
+            return False
+        if _outside_range(V, lower, upper):
+            return True
+        for L in _lin_parts_lower(lower):
+            d = L - V
+            if d.is_constant() and d.const >= 0:  # V <= L <= lo
+                return True
+        return False
+    # distinct nonzero strides: a general Diophantine problem -- punt
+    return False
+
+
+def _compute_vectorizable(
+    stmt: Statement,
+    v: str,
+    step: Optional[int],
+    lower: BExpr,
+    upper: BExpr,
+) -> bool:
+    """Is one gather-compute-scatter over ``v`` equal to the ascending
+    scalar loop?
+
+    Required: the write moves with ``v`` (distinct locations per
+    iteration), and no iteration reads a location an *earlier*
+    iteration wrote (the gather happens before the scatter, so such a
+    read would see the old value).  A read identical to the write is
+    safe: scalar iterations read their own location before writing it,
+    exactly like the gather.  Reads of other arrays never alias the
+    write.  See DESIGN.md §10.
+    """
+    write = stmt.lhs
+    if all(idx.coeff(v) == 0 for idx in write.indices):
+        return False
+    wname = write.array.name
+    for read in stmt.reads:
+        if read.array.name != wname:
+            continue
+        if len(read.indices) == len(write.indices) and all(
+            r is w for r, w in zip(read.indices, write.indices)
+        ):
+            continue
+        if len(read.indices) != len(write.indices):
+            return False
+        if not any(
+            _dim_separates(wd, rd, v, step, lower, upper)
+            for wd, rd in zip(write.indices, read.indices)
+        ):
+            return False
+    return True
+
+
+def _numpy_safe(b: BExpr) -> bool:
+    """Can ``b`` be evaluated with numpy arrays bound to its variables?
+
+    Everything the emitter produces maps to ``+``/``*``/``//``/``%``
+    except max/min, which emit the Python builtins (ambiguous truth
+    value on arrays).
+    """
+    if isinstance(b, Lin):
+        return True
+    if isinstance(b, (CeilDiv, FloorDiv, ModE)):
+        return _numpy_safe(b.num)
+    if isinstance(b, Combo):
+        return all(_numpy_safe(e) for _, e in b.terms)
+    return False
+
+
 class PyEmitter:
     """Emit a CAST tree as the body of a node program.
 
     The generated function has signature ``node(proc)`` and relies on
     the :class:`repro.runtime.Processor` API: ``proc.params``,
-    ``proc.myp``, ``proc.arrays``, ``proc.execute``, ``proc.send``,
-    ``proc.multicast``, ``proc.recv``, ``proc.recv_mc``, and the
+    ``proc.stmt``, ``proc.myp``, ``proc.arrays``, ``proc.execute_stmt``,
+    ``proc.execute_block``, ``proc.send``, ``proc.multicast``, and the
     ``proc.finish`` completion hook (emitted as the final statement so
     the runtime's progress monitor can tell a cleanly finished node
     program from a dead thread when diagnosing deadlocks).
+
+    Node programs are **generator functions**: receives are emitted as
+    ``yield ('recv'|'recv_mc', src, tag)`` requests so the same program
+    runs under the threaded backend (whose driver answers each request
+    with a blocking receive) and the cooperative scheduler (which parks
+    the coroutine).  Programs with no receives get a dead ``yield`` to
+    keep the calling convention uniform.
+
+    With ``vectorize=True`` (the default), an innermost loop whose body
+    is a single guarded compute, pack, or unpack -- plus any number of
+    guards that *pin* the loop variable to one iteration (send/receive
+    fragments placed at a specific step, as in LU's pivot broadcast) --
+    is emitted as whole-range numpy operations: computes become one
+    ``proc.execute_block`` call per pin-free span (legality proved by
+    :func:`_compute_vectorizable`), packs gather one chunk, unpacks
+    scatter one slice.  Everything else falls back to the scalar loop,
+    which remains bit-identical to the historical emission.
     """
 
-    def __init__(self, rank: int, params: Sequence[str]):
+    def __init__(
+        self, rank: int, params: Sequence[str], vectorize: bool = True
+    ):
         self.rank = rank
         self.params = list(params)
+        self.vectorize = vectorize
         self.lines: List[str] = []
+        self._stmt_handles: Dict[Statement, str] = {}
+        self._uid = itertools.count()
 
     def header(self) -> List[str]:
         out = ["def node(proc):"]
@@ -419,6 +737,9 @@ class PyEmitter:
             myp = "myp" if self.rank == 1 else f"myp{k}"
             out.append(f"    {myp} = proc.myp[{k}]")
         out.append("    arrays = proc.arrays")
+        out.append("    _env = dict(proc.params)")
+        for stmt, handle in self._stmt_handles.items():
+            out.append(f"    {handle} = proc.stmt({stmt.name!r})")
         return out
 
     def emit(self, node: CNode, indent: int) -> None:
@@ -433,6 +754,12 @@ class PyEmitter:
                 self.lines.append(pad + "pass")
             return
         if isinstance(node, CFor):
+            if (
+                self.vectorize
+                and node.step > 0
+                and self._try_vectorize(node, indent)
+            ):
+                return
             self.lines.append(
                 f"{pad}for {_san(node.var)} in range({_py_expr(node.lower)}, "
                 f"{_py_expr(node.upper)} + 1, {node.step}):"
@@ -440,6 +767,8 @@ class PyEmitter:
             self.emit(node.body, indent + 1)
             return
         if isinstance(node, CVirtLoop):
+            if self.vectorize and self._try_vectorize(node, indent):
+                return
             myp = "myp" if node.rank == 1 else f"myp{node.dim}"
             pp = "_P" if node.rank == 1 else f"_P{node.dim}"
             lo = _py_expr(node.lower)
@@ -464,12 +793,10 @@ class PyEmitter:
             return
         if isinstance(node, CCompute):
             stmt = node.stmt
-            env_items = ", ".join(
-                f"{v!r}: {_san(v)}" for v in stmt.iter_vars
-            )
-            self.lines.append(
-                f"{pad}proc.execute({stmt.name!r}, {{{env_items}}})"
-            )
+            handle = self._handle(stmt)
+            for w in stmt.iter_vars:
+                self.lines.append(f"{pad}_env[{w!r}] = {_san(w)}")
+            self.lines.append(f"{pad}proc.execute_stmt({handle}, _env)")
             return
         if isinstance(node, CNewBuffer):
             self.lines.append(f"{pad}{node.name} = []")
@@ -486,7 +813,7 @@ class PyEmitter:
             dst = _py_phys(node.dest, self.rank)
             tag = self._tag(node.tag_label, node.tag_exprs)
             self.lines.append(
-                f"{pad}proc.send({dst}, {tag}, {node.buffer})"
+                f"{pad}proc.send({dst}, {tag}, _cat({node.buffer}))"
             )
             return
         if isinstance(node, CNewDestSet):
@@ -504,7 +831,7 @@ class PyEmitter:
             tag = self._tag(node.tag_label, node.tag_exprs)
             self.lines.append(
                 f"{pad}proc.multicast(sorted({node.dest_set}), {tag}, "
-                f"{node.buffer})"
+                f"_cat({node.buffer}))"
             )
             return
         if isinstance(node, CRecv):
@@ -512,7 +839,7 @@ class PyEmitter:
             tag = self._tag(node.tag_label, node.tag_exprs)
             fn = "recv_mc" if node.multicast else "recv"
             self.lines.append(
-                f"{pad}{node.buffer} = proc.{fn}({src}, {tag})"
+                f"{pad}{node.buffer} = yield ({fn!r}, {src}, {tag})"
             )
             self.lines.append(f"{pad}{node.buffer}_i = 0")
             return
@@ -530,23 +857,319 @@ class PyEmitter:
             return
         raise TypeError(node)
 
+    # -- vectorization ------------------------------------------------------
+
+    def _handle(self, stmt: Statement) -> str:
+        handle = self._stmt_handles.get(stmt)
+        if handle is None:
+            handle = f"_s{len(self._stmt_handles)}"
+            self._stmt_handles[stmt] = handle
+        return handle
+
+    def _try_vectorize(self, node, indent: int) -> bool:
+        """Attempt whole-range emission of an innermost loop; True when
+        emitted (the caller then skips the scalar loop)."""
+        v = node.var
+        if isinstance(node, CVirtLoop):
+            step_int = None
+            pp = "_P" if node.rank == 1 else f"_P{node.dim}"
+            myp = "myp" if node.rank == 1 else f"myp{node.dim}"
+            lo_src = (
+                f"{myp} + {pp} * "
+                f"(-((-({_py_expr(node.lower)} - {myp})) // {pp}))"
+            )
+            step_src = pp
+        else:
+            step_int = node.step
+            lo_src = _py_expr(node.lower)
+            step_src = str(step_int)
+        hi_src = _py_expr(node.upper)
+        items = _flatten(node.body)
+        if any(isinstance(x, (CPack, CUnpack)) for x in items):
+            return self._try_pack_loop(
+                node, items, v, step_src, lo_src, hi_src, indent
+            )
+        return self._try_compute_loop(
+            node, items, v, step_int, step_src, lo_src, hi_src, indent
+        )
+
+    def _try_compute_loop(
+        self, node, items, v, step_int, step_src, lo_src, hi_src, indent
+    ) -> bool:
+        """Pattern: an innermost loop whose body is one (guarded)
+        compute plus guards pinning ``v`` to single iterations.
+
+        Emits ``execute_block`` over each pin-free span; at every
+        in-range pin the *original* body is re-emitted scalar with the
+        loop variable bound to the pin, preserving intra-iteration
+        order between the compute and the pinned fragments (and
+        re-checking every guard).
+        """
+        vector: List[Tuple[Statement, List[Cond], Optional[tuple]]] = []
+        pinned: List[Tuple[CNode, LinExpr]] = []
+        comments: List[CComment] = []
+        for child in items:
+            if isinstance(child, CComment):
+                comments.append(child)
+            elif isinstance(child, CCompute):
+                vector.append((child.stmt, [], None))
+            elif isinstance(child, CGuard):
+                vconds = [c for c in child.conds if v in _cond_vars(c)]
+                vfree = [c for c in child.conds if v not in _cond_vars(c)]
+                inner = [
+                    x
+                    for x in _flatten(child.body)
+                    if not isinstance(x, CComment)
+                ]
+                is_compute = (
+                    len(inner) == 1 and isinstance(inner[0], CCompute)
+                )
+                if is_compute and not vconds:
+                    vector.append((inner[0].stmt, vfree, None))
+                    continue
+                if is_compute:
+                    # a guard that only clips v's range tightens the
+                    # block bounds instead of forcing the scalar loop
+                    clip = _range_bounds(vconds, v, step_src)
+                    if clip is not None:
+                        vector.append((inner[0].stmt, vfree, clip))
+                        continue
+                pin = _pin_value(vconds, v)
+                if pin is None:
+                    return False
+                pinned.append((child, pin))
+            else:
+                return False
+        if len(vector) != 1:
+            return False
+        stmt, guard, clip = vector[0]
+        if v not in stmt.iter_vars:
+            return False
+        if not _compute_vectorizable(
+            stmt, v, step_int, node.lower, node.upper
+        ):
+            return False
+
+        u = next(self._uid)
+        pad = "    " * indent
+        out = self.lines.append
+        out(f"{pad}_vlo{u} = {lo_src}")
+        out(f"{pad}_vhi{u} = {hi_src}")
+        out(f"{pad}if _vlo{u} <= _vhi{u}:")
+        p1 = pad + "    "
+        for c in comments:
+            out(f"{p1}# {c.text}")
+        lo_clip = hi_clip = None
+        if clip is not None:
+            lowers, uppers = clip
+            if lowers:
+                lo_clip = f"_clo{u}"
+                src = (
+                    lowers[0]
+                    if len(lowers) == 1
+                    else f"max({', '.join(lowers)})"
+                )
+                out(f"{p1}{lo_clip} = {src}")
+            if uppers:
+                hi_clip = f"_chi{u}"
+                src = (
+                    uppers[0]
+                    if len(uppers) == 1
+                    else f"min({', '.join(uppers)})"
+                )
+                out(f"{p1}{hi_clip} = {src}")
+
+        def block_call(lo: str, hi: str, at: int) -> None:
+            qad = "    " * at
+            if guard:
+                conds = " and ".join(_py_cond(c, self.rank) for c in guard)
+                out(f"{qad}if {conds}:")
+                qad += "    "
+            for w in stmt.iter_vars:
+                if w != v:
+                    out(f"{qad}_env[{w!r}] = {_san(w)}")
+            if lo_clip is not None:
+                lo = f"max({lo}, {lo_clip})"
+            if hi_clip is not None:
+                hi = f"min({hi}, {hi_clip})"
+            out(
+                f"{qad}proc.execute_block({self._handle(stmt)}, {v!r}, "
+                f"{lo}, {hi}, _env, {step_src})"
+            )
+
+        if pinned:
+            out(f"{p1}_pins{u} = []")
+            for _child, pin in pinned:
+                out(f"{p1}_pv{u} = {_py_expr(Lin(pin))}")
+                out(
+                    f"{p1}if _vlo{u} <= _pv{u} <= _vhi{u} and "
+                    f"(_pv{u} - _vlo{u}) % {step_src} == 0:"
+                )
+                out(f"{p1}    _pins{u}.append(_pv{u})")
+            out(f"{p1}_cur{u} = _vlo{u}")
+            out(f"{p1}for _pin{u} in sorted(set(_pins{u})):")
+            p2 = pad + "        "
+            block_call(f"_cur{u}", f"_pin{u} - 1", indent + 2)
+            out(f"{p2}{_san(v)} = _pin{u}")
+            self.emit(node.body, indent + 2)
+            out(f"{p2}_cur{u} = _pin{u} + {step_src}")
+            block_call(f"_cur{u}", f"_vhi{u}", indent + 1)
+        else:
+            block_call(f"_vlo{u}", f"_vhi{u}", indent + 1)
+        # the scalar loop leaves its variable bound to the last iterate
+        if step_src == "1":
+            out(f"{p1}{_san(v)} = _vhi{u}")
+        else:
+            out(
+                f"{p1}{_san(v)} = _vlo{u} + "
+                f"((_vhi{u} - _vlo{u}) // {step_src}) * {step_src}"
+            )
+        return True
+
+    def _try_pack_loop(
+        self, node, items, v, step_src, lo_src, hi_src, indent
+    ) -> bool:
+        """Pattern: an innermost loop packing (or unpacking) one array
+        element per iteration, with optional index temporaries.
+
+        Binds the loop variable to ``np.arange`` and lets the index
+        arithmetic broadcast: the pack gathers the whole chunk in one
+        fancy-indexing read, the unpack scatters one payload slice.
+        Unpacks additionally require a provably injective index so the
+        scatter hits ``n`` distinct locations.
+        """
+        assigns: List[CAssign] = []
+        comments: List[CComment] = []
+        leaf = None
+        for child in items:
+            if isinstance(child, CComment):
+                comments.append(child)
+            elif isinstance(child, CAssign):
+                if leaf is not None:
+                    return False
+                assigns.append(child)
+            elif isinstance(child, (CPack, CUnpack)):
+                if leaf is not None:
+                    return False
+                leaf = child
+            else:
+                return False
+        if leaf is None:
+            return False
+        # locals that become arrays once v is bound to an arange
+        vector_vars = {v}
+        lin_env: Dict[str, LinExpr] = {}
+        for a in assigns:
+            if a.value.variables() & vector_vars:
+                if not _numpy_safe(a.value):
+                    return False
+                vector_vars.add(a.var)
+            if isinstance(a.value, Lin):
+                lin_env[a.var] = a.value.expr.substitute(lin_env)
+            else:
+                lin_env.pop(a.var, None)
+        if not any(
+            idx.variables() & vector_vars for idx in leaf.indices
+        ):
+            return False  # the "gather" would be one scalar, not a chunk
+        for idx in leaf.indices:
+            if idx.variables() & vector_vars and not _numpy_safe(idx):
+                return False
+        if isinstance(leaf, CUnpack):
+            if not any(
+                isinstance(idx, Lin)
+                and idx.expr.substitute(lin_env).coeff(v) != 0
+                for idx in leaf.indices
+            ):
+                return False  # cannot prove the scatter is injective
+
+        u = next(self._uid)
+        pad = "    " * indent
+        out = self.lines.append
+        out(f"{pad}_vlo{u} = {lo_src}")
+        out(f"{pad}_vhi{u} = {hi_src}")
+        out(f"{pad}if _vlo{u} <= _vhi{u}:")
+        p1 = pad + "    "
+        for c in comments:
+            out(f"{p1}# {c.text}")
+        out(f"{p1}{_san(v)} = _np.arange(_vlo{u}, _vhi{u} + 1, {step_src})")
+        for a in assigns:
+            out(f"{p1}{_san(a.var)} = {_py_expr(a.value)}")
+        idx = ", ".join(_py_expr(e) for e in leaf.indices)
+        comma = "," if len(leaf.indices) == 1 else ""
+        if isinstance(leaf, CPack):
+            out(
+                f"{p1}{leaf.buffer}.append("
+                f"arrays[{leaf.array!r}][({idx}{comma})])"
+            )
+        else:
+            out(f"{p1}_vn{u} = (_vhi{u} - _vlo{u}) // {step_src} + 1")
+            out(
+                f"{p1}arrays[{leaf.array!r}][({idx}{comma})] = _np.asarray("
+                f"{leaf.buffer}[{leaf.buffer}_i:{leaf.buffer}_i + _vn{u}], "
+                f"dtype=_np.float64)"
+            )
+            out(f"{p1}{leaf.buffer}_i += _vn{u}")
+        # rebind the loop variable to its final scalar value
+        if step_src == "1":
+            out(f"{p1}{_san(v)} = _vhi{u}")
+        else:
+            out(
+                f"{p1}{_san(v)} = _vlo{u} + "
+                f"((_vhi{u} - _vlo{u}) // {step_src}) * {step_src}"
+            )
+        return True
+
+    # -- assembly -----------------------------------------------------------
+
     @staticmethod
     def _tag(label: str, exprs: Sequence[BExpr]) -> str:
         parts = [repr(label)] + [_py_expr(e) for e in exprs]
         return "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
 
     def source(self, tree: CNode) -> str:
-        self.lines = self.header()
+        self._stmt_handles = {}
+        self._uid = itertools.count()
+        has_recv = self._prescan(tree)
+        self.lines = []
         self.emit(tree, 1)
+        body = self.lines
+        self.lines = self.header()
+        if not has_recv:
+            self.lines.append(
+                "    if False:  # no receives; stay a generator "
+                "for the schedulers"
+            )
+            self.lines.append("        yield None")
+        self.lines.extend(body)
         self.lines.append("    proc.finish()")
         return "\n".join(self.lines) + "\n"
 
+    def _prescan(self, node: CNode) -> bool:
+        """Collect statement handles in tree order; True if any CRecv."""
+        has_recv = False
+        if isinstance(node, CBlock):
+            for child in node.children:
+                has_recv |= self._prescan(child)
+        elif isinstance(node, (CFor, CVirtLoop, CGuard)):
+            has_recv = self._prescan(node.body)
+        elif isinstance(node, CCompute):
+            self._handle(node.stmt)
+        elif isinstance(node, CRecv):
+            has_recv = True
+        return has_recv
 
-def compile_node_program(tree: CNode, rank: int, params: Sequence[str]):
-    """Compile a CAST tree into a callable ``node(proc)``."""
-    emitter = PyEmitter(rank, params)
+
+def compile_node_program(
+    tree: CNode,
+    rank: int,
+    params: Sequence[str],
+    vectorize: bool = True,
+):
+    """Compile a CAST tree into a generator function ``node(proc)``."""
+    emitter = PyEmitter(rank, params, vectorize=vectorize)
     src = emitter.source(tree)
-    namespace: dict = {}
+    namespace: dict = {"_np": np, "_cat": _cat_payload}
     exec(compile(src, "<node-program>", "exec"), namespace)  # noqa: S102
     fn = namespace["node"]
     fn.__source__ = src

@@ -84,6 +84,10 @@ class SPMDOptions:
     multicast: bool = True
     early_placement: bool = True
     skip_same_physical: bool = True  # Section 6.1.3 dynamic check
+    #: emit innermost compute/pack/unpack loops as whole-range numpy
+    #: operations when provably equivalent (DESIGN.md §10); the scalar
+    #: loop is always available as an ablation axis
+    vectorize: bool = True
 
 
 @dataclass
@@ -998,7 +1002,9 @@ def generate_spmd(
         children.extend(final_recvs)
     tree = CBlock(children)
 
-    node = compile_node_program(tree, space.rank, program.params)
+    node = compile_node_program(
+        tree, space.rank, program.params, vectorize=options.vectorize
+    )
     return SPMD(
         program=program,
         space=space,

@@ -42,6 +42,14 @@ class Statement:
     loops: Tuple["Loop", ...] = field(default_factory=tuple)
     path: Tuple[int, ...] = field(default_factory=tuple)
 
+    #: vectorized-execution hook for the runtime's block path.  ``None``
+    #: (the default) lets the runtime probe ``fn`` once on a small numpy
+    #: block and cache the verdict here; ``True`` asserts ``fn`` maps
+    #: elementwise over numpy arrays, ``False`` pins the scalar loop,
+    #: and a callable supplies a dedicated vector implementation with
+    #: the same ``(values, env)`` signature.
+    vector_fn: Union[None, bool, Callable] = None
+
     def __post_init__(self):
         # unnamed statements get "S<k>" when the owning Program finalizes
         if self.guard_reads_lhs and self.lhs not in self.reads:

@@ -33,7 +33,9 @@ from .machine import (
     ProcStats,
     Processor,
     RunResult,
+    drive_node,
 )
+from .scheduler import CoopScheduler
 from .transport import (
     DirectTransport,
     Envelope,
@@ -48,6 +50,7 @@ __all__ = [
     "CheckpointPolicy",
     "CheckpointStore",
     "CollectiveStats",
+    "CoopScheduler",
     "CostModel",
     "CrashError",
     "CrashEvent",
@@ -69,6 +72,7 @@ __all__ = [
     "TransportError",
     "UnreliableTransport",
     "check_against_sequential",
+    "drive_node",
     "reorganize",
     "run_spmd",
 ]

@@ -52,6 +52,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from .transport import copy_payload
+
 __all__ = ["CheckpointPolicy", "CheckpointStore", "Snapshot"]
 
 
@@ -172,11 +174,11 @@ class CheckpointStore:
             next_seq=dict(proc._next_seq),
             seen_seqs=set(proc._seen_seqs),
             stash={
-                tag: (list(payload), arrival)
+                tag: (copy_payload(payload), arrival)
                 for tag, (payload, arrival) in proc._stash.items()
             },
             mc_cache={
-                tag: list(payload)
+                tag: copy_payload(payload)
                 for tag, payload in proc._mc_cache.items()
             },
             next_cp_time=proc._next_cp_time,
@@ -229,7 +231,7 @@ class CheckpointStore:
                     src=tuple(envelope.src),
                     seq=envelope.seq,
                     tag=envelope.tag,
-                    payload=list(envelope.payload),
+                    payload=copy_payload(envelope.payload),
                     arrival=envelope.arrival,
                     sender_pc=envelope.sender_pc,
                 )
@@ -237,7 +239,7 @@ class CheckpointStore:
     def log_recv(self, myp: Tuple[int, ...], pc: int, tag: tuple,
                  payload: List[float]) -> None:
         self.recv_logs.setdefault(myp, []).append(
-            _Recv(pc=pc, tag=tag, payload=list(payload))
+            _Recv(pc=pc, tag=tag, payload=copy_payload(payload))
         )
 
     def replay_recv(self, proc) -> List[float]:
@@ -254,7 +256,7 @@ class CheckpointStore:
                 + ") -- the node program is not deterministic"
             )
         proc._replay_idx += 1
-        return list(log[idx].payload)
+        return copy_payload(log[idx].payload)
 
     # -- rollback support ----------------------------------------------------
 

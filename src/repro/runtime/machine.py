@@ -40,6 +40,7 @@ Reliability layers (see DESIGN.md "Runtime reliability"):
 
 from __future__ import annotations
 
+import inspect
 import queue
 import threading
 import time
@@ -65,6 +66,7 @@ from .transport import (
     ReliableTransport,
     Transport,
     UnreliableTransport,
+    copy_payload,
 )
 
 try:  # Python >= 3.11
@@ -187,20 +189,146 @@ class Processor:
 
     # -- node program API ---------------------------------------------------
 
+    def stmt(self, name: str):
+        """Resolve a statement once (hoisted out of emitted hot loops)."""
+        return self._stmts[name]
+
     def execute(self, stmt_name: str, env: Mapping[str, int]) -> None:
+        full_env = dict(self.params)
+        full_env.update(env)
+        self.execute_stmt(self._stmts[stmt_name], full_env)
+
+    def execute_stmt(self, stmt, env: Mapping[str, int]) -> None:
+        """Execute one statement instance.
+
+        ``env`` must already contain the machine parameters; generated
+        code keeps one pre-merged environment dict per node program and
+        mutates only the iteration variables, so the per-op dict rebuild
+        of the historical ``execute`` path is gone.
+        """
         if self._advance():
             return
         self._maybe_crash(comm=False)
-        stmt = self._stmts[stmt_name]
-        full_env = dict(self.params)
-        full_env.update(env)
-        stmt.execute(self.arrays, full_env)
+        stmt.execute(self.arrays, env)
         flops = 1 + len(stmt.reads)
         self.stats.flops += flops
         cost = flops * self.machine.cost.flop_time
         self.clock += cost
         self.stats.compute_time += cost
         self._after_op()
+
+    def execute_block(
+        self,
+        stmt,
+        var: str,
+        lo: int,
+        hi: int,
+        env: Dict[str, int],
+        step: int = 1,
+    ) -> None:
+        """Execute ``stmt`` for ``var`` = lo, lo+step, ..., <= hi as one
+        numpy gather-compute-scatter over the whole range.
+
+        The emitter only issues this call for loops it proved free of
+        read-after-write hazards along ``var`` (see DESIGN.md §10), so a
+        single gather of every read followed by a single scatter of every
+        write is element-for-element identical to the ascending scalar
+        loop.  Flops, ``compute_time`` and the Lamport clock are charged
+        in closed form; the per-op charge is integral for every shipped
+        cost model, so ``n`` float additions and one multiply-add agree
+        bit-for-bit (both stay on exactly representable values).
+
+        Falls back to the scalar per-op loop whenever per-op granularity
+        is observable -- an active checkpoint store or crash plan (both
+        key on ``_pc``), fast-forward replay -- when the block is too
+        small to win, or when the statement's ``fn`` is not vector-safe
+        (``Statement.vector_fn`` hook, probed once and cached).
+        """
+        if hi < lo:
+            return
+        machine = self.machine
+        plan = machine.fault_plan
+        n = (hi - lo) // step + 1
+        if (
+            n < 4
+            or machine.checkpoints is not None
+            or (plan is not None and plan.any_crash_faults)
+            or self._pc < self._ff_target
+            or not self._vector_safe(stmt, var, lo, step, env)
+        ):
+            for v in range(lo, hi + 1, step):
+                env[var] = v
+                self.execute_stmt(stmt, env)
+            return
+        venv = dict(env)
+        venv[var] = np.arange(lo, hi + 1, step)
+        fn = stmt.vector_fn if callable(stmt.vector_fn) else stmt.fn
+        arrays = self.arrays
+        values = [
+            arrays[a.array.name][a.evaluate(venv)] for a in stmt.reads
+        ]
+        arrays[stmt.lhs.array.name][stmt.lhs.evaluate(venv)] = fn(
+            values, venv
+        )
+        self._pc += n
+        flops = 1 + len(stmt.reads)
+        self.stats.flops += flops * n
+        cost = flops * machine.cost.flop_time
+        if float(cost).is_integer():
+            total = cost * n
+            self.clock += total
+            self.stats.compute_time += total
+        else:  # fractional per-op cost: accumulate like the scalar path
+            clock = self.clock
+            ctime = self.stats.compute_time
+            for _ in range(n):
+                clock += cost
+                ctime += cost
+            self.clock = clock
+            self.stats.compute_time = ctime
+
+    def _vector_safe(self, stmt, var, lo, step, env) -> bool:
+        verdict = stmt.vector_fn
+        if verdict is None:
+            verdict = self._probe_vector_fn(stmt, var, lo, step, env)
+            stmt.vector_fn = verdict
+        return bool(verdict)
+
+    def _probe_vector_fn(self, stmt, var, lo, step, env) -> bool:
+        """Does ``stmt.fn`` map elementwise over numpy blocks?
+
+        Runs the block's first two iterations both ways (without
+        writing) and demands bitwise-equal results; opaque scalar
+        functions (``math.*`` calls, data-dependent branches) raise or
+        diverge on the size-2 array and pin the scalar loop.
+        """
+        arrays = self.arrays
+        penv = dict(env)
+        scalar = []
+        try:
+            for k in range(2):
+                penv[var] = lo + k * step
+                vals = [
+                    arrays[a.array.name][a.evaluate(penv)]
+                    for a in stmt.reads
+                ]
+                scalar.append(stmt.fn(vals, penv))
+            penv[var] = lo + np.arange(2) * step
+            vals = [
+                arrays[a.array.name][a.evaluate(penv)] for a in stmt.reads
+            ]
+            out = np.asarray(stmt.fn(vals, penv))
+            if out.shape not in ((), (2,)):
+                return False
+            return bool(
+                np.array_equal(
+                    np.broadcast_to(out, (2,)),
+                    np.asarray(scalar, dtype=np.float64),
+                    equal_nan=True,
+                )
+            )
+        except Exception:
+            return False
 
     def send(self, dest: Tuple[int, ...], tag: tuple, payload: List[float]):
         if self._advance():
@@ -227,10 +355,9 @@ class Processor:
     def recv(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
         # ``src`` is advisory (kept for readable generated code); the tag
         # alone identifies the message -- it embeds the virtual sender.
-        if self._advance():
-            return self.machine.checkpoints.replay_recv(self)
-        self._maybe_crash()
-        self._maybe_stall()
+        replayed = self._recv_prologue()
+        if replayed is not None:
+            return replayed
         machine = self.machine
         monitor = machine.monitor
         # one absolute deadline for the whole wait: pulling unrelated
@@ -257,18 +384,40 @@ class Processor:
                     f"no in-flight or future message can satisfy",
                     report=monitor.report,
                 )
-            monitor.record_dequeued()
-            if envelope.seq is not None:
-                seen_key = (envelope.src, envelope.seq)
-                if seen_key in self._seen_seqs:
-                    # retransmitted/duplicated copy of a message we
-                    # already hold: the protocol discards it
-                    self.stats.duplicates_dropped += 1
-                    continue
-                self._seen_seqs.add(seen_key)
-            self._stash[envelope.tag] = (envelope.payload, envelope.arrival)
+            self._recv_accept(envelope)
+        return self._recv_finish(tag)
+
+    def _recv_prologue(self):
+        """The pre-wait half of ``recv``: loop-cursor advance, replay
+        fast path, crash/stall checks.  Returns the replayed payload
+        during fast-forward, None when the receive must run live.
+        Shared by the blocking (threads) and yielding (coop) paths."""
+        if self._advance():
+            return self.machine.checkpoints.replay_recv(self)
+        self._maybe_crash()
+        self._maybe_stall()
+        return None
+
+    def _recv_accept(self, envelope: Envelope) -> None:
+        """Account one dequeued envelope into the stash (dedup-aware)."""
+        self.machine.monitor.record_dequeued()
+        if envelope.seq is not None:
+            seen_key = (envelope.src, envelope.seq)
+            if seen_key in self._seen_seqs:
+                # retransmitted/duplicated copy of a message we
+                # already hold: the protocol discards it
+                self.stats.duplicates_dropped += 1
+                return
+            self._seen_seqs.add(seen_key)
+        self._stash[envelope.tag] = (envelope.payload, envelope.arrival)
+
+    def _recv_finish(self, tag: tuple):
+        """The post-wait half of ``recv``: pop the stashed payload and
+        charge the receive to the clock/stats.  The caller must have
+        established ``tag in self._stash``."""
+        machine = self.machine
         payload, arrival = self._stash.pop(tag)
-        monitor.record_recv(self.myp, tag)
+        machine.monitor.record_recv(self.myp, tag)
         cost = machine.cost
         ready = self.clock + cost.recv_overhead
         if arrival > ready:
@@ -349,11 +498,12 @@ class Processor:
         self._next_seq = dict(snap.next_seq)
         self._seen_seqs = set(snap.seen_seqs)
         self._stash = {
-            tag: (list(payload), arrival)
+            tag: (copy_payload(payload), arrival)
             for tag, (payload, arrival) in snap.stash.items()
         }
         self._mc_cache = {
-            tag: list(payload) for tag, payload in snap.mc_cache.items()
+            tag: copy_payload(payload)
+            for tag, payload in snap.mc_cache.items()
         }
         self.stats = _dc_replace(snap.stats)
         self._next_cp_time = snap.next_cp_time
@@ -394,6 +544,39 @@ class Processor:
             self._check_scheduled(plan)
 
 
+def drive_node(node_fn: Callable, proc: Processor) -> None:
+    """Drive one node program on ``proc``, blocking-recv style.
+
+    Generated node programs are generator functions that *yield*
+    receive requests -- ``('recv', src, tag)`` / ``('recv_mc', src,
+    tag)`` -- instead of calling ``proc.recv`` directly, so the same
+    program text runs under both the threaded backend (this driver
+    answers each request with a blocking receive) and the cooperative
+    scheduler (which parks the coroutine until the message exists).
+    Plain callables (hand-written harness programs) are invoked
+    directly, unchanged.
+    """
+    if not inspect.isgeneratorfunction(node_fn):
+        node_fn(proc)
+        return
+    gen = node_fn(proc)
+    try:
+        request = next(gen)
+        while True:
+            kind, src, tag = request
+            if kind == "recv":
+                payload = proc.recv(src, tag)
+            elif kind == "recv_mc":
+                payload = proc.recv_mc(src, tag)
+            else:
+                raise TypeError(
+                    f"node program yielded unknown request kind {kind!r}"
+                )
+            request = gen.send(payload)
+    except StopIteration:
+        pass
+
+
 class Machine:
     """P processors with private memories and tagged channels.
 
@@ -420,7 +603,13 @@ class Machine:
         transport: Optional[Transport] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
         max_restarts: int = 3,
+        backend: str = "threads",
     ):
+        if backend not in ("threads", "coop"):
+            raise ValueError(
+                f"unknown backend {backend!r} (expected 'threads' or 'coop')"
+            )
+        self.backend = backend
         self.program = program
         self.space = space
         self.params = dict(params)
@@ -601,15 +790,21 @@ class Machine:
     def _run_incarnation(
         self, node_fn: Callable
     ) -> List[Tuple[Tuple[int, ...], BaseException]]:
-        """Run every processor thread to completion once; reap ALL
-        threads (even on failure paths) and return the failures."""
+        """Run every processor to completion once and return the
+        failures.  The threaded backend reaps ALL threads (even on
+        failure paths); the cooperative backend interleaves the
+        processors as coroutines on this thread."""
+        if self.backend == "coop":
+            from .scheduler import CoopScheduler
+
+            return CoopScheduler(self).run(node_fn)
         failures: List[Tuple[Tuple[int, ...], BaseException]] = []
         failures_lock = threading.Lock()
 
         def runner(proc: Processor):
             clean = False
             try:
-                node_fn(proc)
+                drive_node(node_fn, proc)
                 clean = True
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 with failures_lock:
@@ -691,7 +886,7 @@ class Machine:
                 self.monitor.deliver_envelope(
                     myp,
                     Envelope(
-                        rec.src, rec.seq, rec.tag, list(rec.payload),
+                        rec.src, rec.seq, rec.tag, copy_payload(rec.payload),
                         rec.arrival, rec.sender_pc,
                     ),
                 )

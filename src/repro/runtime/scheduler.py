@@ -1,0 +1,218 @@
+"""Cooperative single-thread execution backend (DESIGN.md §10).
+
+The historical runtime spends real wall time on one GIL-bound OS thread
+per simulated processor: every ``recv`` blocks in ``queue.Queue`` and
+every message is a cross-thread handoff through the scheduler of the
+host OS.  Simulated time never needed any of that -- the machine is
+deterministic and the Lamport clocks are computed, not measured -- so
+this module runs every processor as a **generator-based coroutine** on
+the calling thread:
+
+* generated node programs *yield* their receive requests
+  (``('recv', src, tag)`` / ``('recv_mc', src, tag)``) instead of
+  blocking; the scheduler parks the coroutine until the tag is
+  available and resumes it with the payload;
+* among runnable processors the scheduler always resumes the one with
+  the **smallest (Lamport clock, coordinate)** -- a deterministic
+  virtual-time order, so runs are reproducible by construction (no OS
+  scheduler involved) and message arrival bookkeeping matches the
+  threaded backend bit for bit;
+* **true deadlock** is structural: when no coroutine is runnable and
+  draining every parked mailbox satisfies nobody, the existing
+  :class:`~.diagnostics.ProgressMonitor` audit (which the park/resume
+  transitions feed exactly like the threaded backend's block/unblock)
+  has already proven ``in_flight == 0`` with everyone blocked, and the
+  scheduler converts its WAKE pills into the same
+  :class:`~.diagnostics.DeadlockError` the threaded backend raises.
+
+Costs, stats, stash/dedup handling and the checkpoint replay fast path
+are all shared with the threaded backend -- the scheduler calls the
+same ``Processor._recv_prologue`` / ``_recv_accept`` / ``_recv_finish``
+halves that ``Processor.recv`` is assembled from, so ``ProcStats``,
+clocks and final arrays are identical across backends.
+
+Plain (non-generator) node functions -- hand-written harnesses -- are
+executed sequentially in coordinate order; they keep working as long
+as their communication follows program order (a backward dependence
+would need the threaded backend).
+"""
+
+from __future__ import annotations
+
+import inspect
+import queue
+import time
+from typing import Callable, Dict, List, Tuple
+
+from .diagnostics import WAKE, DeadlockError
+
+__all__ = ["CoopScheduler"]
+
+#: resume token for a coroutine that has not started yet
+_START = object()
+
+
+class CoopScheduler:
+    """Run one machine incarnation cooperatively on the current thread."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.failures: List[Tuple[Tuple[int, ...], BaseException]] = []
+        #: myp -> _START or (tag, mc_flag) for a satisfied receive
+        self.ready: Dict[Tuple[int, ...], object] = {}
+        #: myp -> (tag, mc_flag) for a parked receive
+        self.waiting: Dict[Tuple[int, ...], Tuple[tuple, bool]] = {}
+        self.gens: Dict[Tuple[int, ...], object] = {}
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(
+        self, node_fn: Callable
+    ) -> List[Tuple[Tuple[int, ...], BaseException]]:
+        machine = self.machine
+        if not inspect.isgeneratorfunction(node_fn):
+            # hand-written harness: run to completion in coordinate order
+            for myp in sorted(machine.procs):
+                proc = machine.procs[myp]
+                clean = False
+                try:
+                    node_fn(proc)
+                    clean = True
+                except BaseException as exc:  # noqa: BLE001 - surfaced by run()
+                    self.failures.append((myp, exc))
+                finally:
+                    machine.monitor.finish(myp, clean=clean)
+            return self.failures
+
+        for myp in sorted(machine.procs):
+            self.gens[myp] = node_fn(machine.procs[myp])
+            self.ready[myp] = _START
+        deadline = time.monotonic() + machine.timeout * 4
+        while self.ready or self.waiting:
+            if time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"node program did not terminate within "
+                    f"{machine.timeout * 4:g}s (cooperative backend)",
+                    report=machine.monitor.build_report(),
+                )
+            if self.ready:
+                myp = min(
+                    self.ready,
+                    key=lambda p: (machine.procs[p].clock, p),
+                )
+                self._step(myp, self.ready.pop(myp))
+            else:
+                self._drain_parked()
+        return self.failures
+
+    # -- one coroutine step --------------------------------------------------
+
+    def _step(self, myp: Tuple[int, ...], token) -> None:
+        """Resume ``myp`` and run it until it parks, finishes or fails."""
+        machine = self.machine
+        proc = machine.procs[myp]
+        gen = self.gens[myp]
+        try:
+            if token is _START:
+                request = next(gen)
+            else:
+                tag, mc = token
+                payload = proc._recv_finish(tag)
+                if mc:
+                    proc._mc_cache[tag] = payload
+                request = gen.send(payload)
+            while True:
+                kind, _src, tag = request
+                if kind == "recv_mc":
+                    mc = True
+                    cached = proc._mc_cache.get(tag)
+                    if cached is not None:
+                        request = gen.send(cached)
+                        continue
+                elif kind == "recv":
+                    mc = False
+                else:
+                    raise TypeError(
+                        f"node program yielded unknown request kind {kind!r}"
+                    )
+                replayed = proc._recv_prologue()
+                if replayed is not None:  # checkpoint fast-forward replay
+                    if mc:
+                        proc._mc_cache[tag] = replayed
+                    request = gen.send(replayed)
+                    continue
+                self._pump_mailbox(proc)
+                if tag in proc._stash:
+                    payload = proc._recv_finish(tag)
+                    if mc:
+                        proc._mc_cache[tag] = payload
+                    request = gen.send(payload)
+                    continue
+                # park: the monitor's block() runs the same deadlock
+                # test the threaded backend relies on
+                self.waiting[myp] = (tag, mc)
+                machine.monitor.block(myp, tag)
+                return
+        except StopIteration:
+            machine.monitor.finish(myp, clean=True)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by Machine.run
+            self.failures.append((myp, exc))
+            machine.monitor.finish(myp, clean=False)
+
+    # -- mailbox handling ----------------------------------------------------
+
+    def _pump_mailbox(self, proc) -> bool:
+        """Drain ``proc``'s mailbox into its stash.  Returns True when a
+        WAKE pill was found (deadlock diagnosed by the monitor)."""
+        woke = False
+        while True:
+            try:
+                envelope = proc.mailbox.get_nowait()
+            except queue.Empty:
+                return woke
+            if envelope is WAKE:
+                woke = True
+                continue
+            proc._recv_accept(envelope)
+
+    def _drain_parked(self) -> None:
+        """No coroutine is runnable: satisfy parked receives from their
+        mailboxes, or convert a diagnosed deadlock into failures."""
+        machine = self.machine
+        progressed = False
+        for myp in sorted(self.waiting):
+            proc = machine.procs[myp]
+            tag, mc = self.waiting[myp]
+            woke = self._pump_mailbox(proc)
+            if tag in proc._stash:
+                del self.waiting[myp]
+                machine.monitor.unblock(myp)
+                self.ready[myp] = (tag, mc)
+                progressed = True
+            elif woke:
+                del self.waiting[myp]
+                err = DeadlockError(
+                    f"deadlock: processor {myp} waits on {tag}, which "
+                    f"no in-flight or future message can satisfy",
+                    report=machine.monitor.report,
+                )
+                self.failures.append((myp, err))
+                machine.monitor.finish(myp, clean=False)
+                progressed = True
+        if progressed or not self.waiting:
+            return
+        # Nothing moved: every parked mailbox was empty.  Re-run the
+        # monitor's deadlock test (dequeues above may have zeroed the
+        # in-flight count after the last block() check) -- on a true
+        # deadlock it pushes WAKE pills that the next pass converts.
+        for myp in sorted(self.waiting):
+            machine.monitor.block(myp, self.waiting[myp][0])
+        if not machine.monitor.deadlocked.is_set():
+            # not a structural deadlock (should be unreachable: with no
+            # runnable coroutine there is no future sender) -- fail loud
+            # rather than spin
+            raise DeadlockError(
+                "cooperative scheduler stalled: no runnable processor and "
+                "no satisfiable receive",
+                report=machine.monitor.build_report(),
+            )

@@ -41,6 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from .faults import FaultPlan
 
 __all__ = [
@@ -50,7 +52,22 @@ __all__ = [
     "Transport",
     "TransportError",
     "UnreliableTransport",
+    "copy_payload",
 ]
+
+
+def copy_payload(payload):
+    """A private copy of a message payload at an ownership boundary.
+
+    Payloads are numpy float64 vectors on the generated-code path and
+    plain lists from hand-written harnesses; both cross thread/processor
+    boundaries, so every envelope, snapshot and log entry must hold its
+    own copy (aliasing a sender's buffer across processors would be a
+    shared-memory bug the real machine cannot have).
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return list(payload)
 
 
 class TransportError(Exception):
@@ -116,7 +133,7 @@ class DirectTransport(Transport):
         arrival = proc.clock + machine.cost.latency
         machine.deliver(
             dest,
-            Envelope(proc.myp, None, tag, list(payload), arrival,
+            Envelope(proc.myp, None, tag, copy_payload(payload), arrival,
                      proc._pc),
         )
         machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
@@ -132,7 +149,7 @@ class DirectTransport(Transport):
             arrival = proc.clock + machine.cost.latency
             machine.deliver(
                 dest,
-                Envelope(proc.myp, None, tag, list(payload), arrival,
+                Envelope(proc.myp, None, tag, copy_payload(payload), arrival,
                          proc._pc),
             )
             machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
@@ -149,7 +166,7 @@ class UnreliableTransport(Transport):
     def send(self, proc, dest, tag, payload) -> None:
         self._charge_startup(proc, payload)
         self._count(proc, payload)
-        self._cast(proc, dest, tag, list(payload))
+        self._cast(proc, dest, tag, copy_payload(payload))
 
     def multicast(self, proc, dests, tag, payload) -> None:
         if not dests:
@@ -158,7 +175,7 @@ class UnreliableTransport(Transport):
         proc.stats.multicasts += 1
         for dest in dests:
             self._count(proc, payload)
-            self._cast(proc, dest, tag, list(payload))
+            self._cast(proc, dest, tag, copy_payload(payload))
 
     def _cast(self, proc, dest, tag, payload) -> None:
         machine, plan = proc.machine, self.plan
@@ -176,7 +193,7 @@ class UnreliableTransport(Transport):
             machine.deliver(
                 dest,
                 Envelope(
-                    proc.myp, None, tag, payload,
+                    proc.myp, None, tag, copy_payload(payload),
                     arrival + machine.cost.latency, proc._pc,
                 ),
             )
@@ -211,7 +228,7 @@ class ReliableTransport(Transport):
     def send(self, proc, dest, tag, payload) -> None:
         self._charge_startup(proc, payload)
         self._count(proc, payload)
-        self._transmit(proc, dest, tag, list(payload))
+        self._transmit(proc, dest, tag, copy_payload(payload))
 
     def multicast(self, proc, dests, tag, payload) -> None:
         if not dests:
@@ -220,7 +237,7 @@ class ReliableTransport(Transport):
         proc.stats.multicasts += 1
         for dest in dests:
             self._count(proc, payload)
-            self._transmit(proc, dest, tag, list(payload))
+            self._transmit(proc, dest, tag, copy_payload(payload))
 
     def _initial_rto(self, cost) -> float:
         if self.rto is not None:
@@ -248,8 +265,8 @@ class ReliableTransport(Transport):
                 arrival = proc.clock + cost.latency + delay
                 machine.deliver(
                     dest,
-                    Envelope(proc.myp, seq, tag, payload, arrival,
-                             proc._pc),
+                    Envelope(proc.myp, seq, tag, copy_payload(payload),
+                             arrival, proc._pc),
                 )
                 delivered_once = True
                 if plan is not None and plan.duplicates(
@@ -259,7 +276,7 @@ class ReliableTransport(Transport):
                     machine.deliver(
                         dest,
                         Envelope(
-                            proc.myp, seq, tag, payload,
+                            proc.myp, seq, tag, copy_payload(payload),
                             arrival + cost.latency, proc._pc,
                         ),
                     )

@@ -33,12 +33,16 @@ def run_spmd(
     max_retries: int = 10,
     checkpoint: Optional[CheckpointPolicy] = None,
     max_restarts: int = 3,
+    backend: str = "threads",
 ) -> RunResult:
     """Execute a generated SPMD program on the simulator.
 
     ``fault_plan``/``reliability``/``max_retries`` configure the
     reliability subsystem; ``checkpoint``/``max_restarts`` configure
     fail-stop crash tolerance (see :class:`~.machine.Machine`).
+    ``backend`` selects the execution engine: ``"threads"`` (one OS
+    thread per processor, the default) or ``"coop"`` (all processors
+    as coroutines on one thread, deterministic virtual-time order).
     Defaults keep the historical zero-overhead direct channel.
     """
     machine = Machine(
@@ -52,6 +56,7 @@ def run_spmd(
         max_retries=max_retries,
         checkpoint=checkpoint,
         max_restarts=max_restarts,
+        backend=backend,
     )
     return machine.run(spmd.node, initial_data=initial_data, seed=seed)
 
@@ -71,6 +76,7 @@ def check_against_sequential(
     timeout: float = 60.0,
     checkpoint: Optional[CheckpointPolicy] = None,
     max_restarts: int = 3,
+    backend: str = "threads",
 ) -> RunResult:
     """Run and assert correctness; returns the RunResult on success.
 
@@ -98,6 +104,7 @@ def check_against_sequential(
         max_retries=max_retries,
         checkpoint=checkpoint,
         max_restarts=max_restarts,
+        backend=backend,
     )
     writers = live_out_writes(program, params)
     space = spmd.space

@@ -104,13 +104,13 @@ def _fig8():
     return generate_spmd(program, comps)
 
 
-def _lu():
+def _lu(options=None):
     program = parse(LU_SRC, name="lu")
     s1 = program.statement("s1")
     s2 = program.statement("s2")
     comps = {"s1": onto(s1, [var("i2")])}
     comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
-    return generate_spmd(program, comps)
+    return generate_spmd(program, comps, options=options)
 
 
 def _pipe():
@@ -130,6 +130,15 @@ WORKLOADS = {
     "pipe": _pipe,
 }
 
+#: the emitted *Python node program*, pinned in both execution modes --
+#: the vectorizer must be deliberate, reviewed text, not drift
+NODE_WORKLOADS = {
+    "fig2_node_scalar": lambda: _fig2(SPMDOptions(vectorize=False)),
+    "fig2_node_vector": lambda: _fig2(SPMDOptions(vectorize=True)),
+    "lu_node_scalar": lambda: _lu(SPMDOptions(vectorize=False)),
+    "lu_node_vector": lambda: _lu(SPMDOptions(vectorize=True)),
+}
+
 
 def render(spmd) -> str:
     """The golden view: comm sets, plans, and the full node program."""
@@ -140,6 +149,11 @@ def render(spmd) -> str:
         lines.append(plan.describe())
     lines.append(spmd.c_text)
     return normalize("\n".join(lines)) + "\n"
+
+
+def render_node(spmd) -> str:
+    """The node-program golden view: the emitted Python source."""
+    return normalize(spmd.source) + "\n"
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
@@ -154,12 +168,29 @@ def test_golden_spmd(name):
     )
 
 
+@pytest.mark.parametrize("name", sorted(NODE_WORKLOADS))
+def test_golden_node_program(name):
+    path = os.path.join(GOLDEN_DIR, f"{name}.txt")
+    with open(path) as fh:
+        expected = fh.read()
+    actual = render_node(NODE_WORKLOADS[name]())
+    assert actual == expected, (
+        f"generated node program for {name} changed; if intended, "
+        f"regenerate goldens with PYTHONPATH=src:tests python {__file__}"
+    )
+
+
 def _regenerate():
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     for name, build in sorted(WORKLOADS.items()):
         path = os.path.join(GOLDEN_DIR, f"{name}.txt")
         with open(path, "w") as fh:
             fh.write(render(build()))
+        print(f"wrote {path}")
+    for name, build in sorted(NODE_WORKLOADS.items()):
+        path = os.path.join(GOLDEN_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(render_node(build()))
         print(f"wrote {path}")
 
 

@@ -117,8 +117,10 @@ class TestTwoPhaseProgram:
         }
         import threading
 
+        from repro.runtime import drive_node
+
         threads = [
-            threading.Thread(target=spmd_col.node, args=(proc,))
+            threading.Thread(target=drive_node, args=(spmd_col.node, proc))
             for proc in machine2.procs.values()
         ]
         for t in threads:

@@ -1,0 +1,315 @@
+"""Execution-engine equivalence: every backend x codegen mode must be
+*exactly* the machine the paper's experiments ran on.
+
+The vectorized emitter (numpy block operations with closed-form cost
+charging) and the cooperative scheduler (coroutines in virtual-time
+order) are performance features only: for every workload they must
+produce bit-identical final arrays, an equal makespan, and identical
+per-processor ``ProcStats`` compared to the shipped scalar+threads
+configuration.  Any drift -- a clock charged in a different order, a
+skipped guard, a payload copied differently -- fails here.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import SPMDOptions, generate_spmd
+from repro.decomp import block, block_loop, onto
+from repro.lang import parse
+from repro.polyhedra import var
+from repro.runtime import DeadlockError, Machine, run_spmd
+
+FIG2_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+FIG8_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = f(X[i], X[i - 1], X[i - 2], X[i - 3])
+"""
+
+LU_SRC = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+PIPE_SRC = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+
+STENCIL_SRC = """
+array A[N + 2]
+array B[N + 2]
+assume N >= 1
+for t = 1 to T do
+  for i = 1 to N do
+    B[i] = (A[i - 1] + A[i] + A[i + 1]) / 3
+"""
+
+
+def _fig2(options):
+    program = parse(FIG2_SRC, name="figure2")
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
+    return generate_spmd(program, comps, options=options)
+
+
+def _fig8(options):
+    program = parse(FIG8_SRC, name="figure8")
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
+    return generate_spmd(program, comps, options=options)
+
+
+def _lu(options):
+    program = parse(LU_SRC, name="lu")
+    comps = {"s1": onto(program.statement("s1"), [var("i2")])}
+    comps["s2"] = onto(
+        program.statement("s2"), [var("i2")], space=comps["s1"].space
+    )
+    return generate_spmd(program, comps, options=options)
+
+
+def _pipe(options):
+    program = parse(PIPE_SRC, name="pipe")
+    s1 = program.statement("s1")
+    s2 = program.statement("s2")
+    comps = {"s1": block_loop(s1, ["i"], [16])}
+    comps["s2"] = block_loop(s2, ["j"], [16], space=comps["s1"].space)
+    return generate_spmd(program, comps, options=options)
+
+
+def _stencil(options):
+    program = parse(STENCIL_SRC, name="stencil")
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
+    return generate_spmd(program, comps, options=options)
+
+
+WORKLOADS = {
+    "fig2": (_fig2, {"N": 70, "T": 2, "P": 3}),
+    "fig8": (_fig8, {"N": 70, "T": 2, "P": 3}),
+    "lu": (_lu, {"N": 24, "P": 3}),
+    "pipe": (_pipe, {"N": 44, "P": 2}),
+    "stencil": (_stencil, {"N": 64, "T": 3, "P": 2}),
+}
+
+COMBOS = [
+    (vec, backend)
+    for vec in (False, True)
+    for backend in ("threads", "coop")
+]
+
+
+def assert_identical_runs(base, other, label=""):
+    assert other.makespan == base.makespan, (
+        f"{label}: makespan {other.makespan} != {base.makespan}"
+    )
+    for myp in base.arrays:
+        for name in base.arrays[myp]:
+            assert np.array_equal(
+                other.arrays[myp][name],
+                base.arrays[myp][name],
+                equal_nan=True,
+            ), f"{label}: array {name} differs on processor {myp}"
+    assert set(other.stats) == set(base.stats)
+    for myp in base.stats:
+        assert other.stats[myp] == base.stats[myp], (
+            f"{label}: ProcStats differ on processor {myp}:\n"
+            f"  base:  {base.stats[myp]}\n"
+            f"  other: {other.stats[myp]}"
+        )
+
+
+def sweep(build, params):
+    compiled = {
+        vec: build(SPMDOptions(vectorize=vec)) for vec in (False, True)
+    }
+    base = None
+    for vec, backend in COMBOS:
+        result = run_spmd(compiled[vec], params, backend=backend)
+        if base is None:
+            base = result
+        else:
+            assert_identical_runs(
+                base, result, f"vectorize={vec} backend={backend}"
+            )
+    return base
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_bit_identical_across_combos(self, name):
+        build, params = WORKLOADS[name]
+        sweep(build, params)
+
+    def test_vectorized_lu_actually_vectorizes(self):
+        """Guard against the sweep silently degenerating: LU must
+        compile to block execution, and fig2's self-dependent compute
+        must not (distance-3 RAW makes gather-before-scatter wrong)."""
+        lu = _lu(SPMDOptions(vectorize=True))
+        assert "proc.execute_block(" in lu.source
+        fig2 = _fig2(SPMDOptions(vectorize=True))
+        compute_lines = [
+            ln for ln in fig2.source.splitlines() if "execute" in ln
+        ]
+        assert compute_lines
+        assert all("execute_stmt" in ln for ln in compute_lines)
+
+    def test_initial_data_layouts_survive_backends(self):
+        """Overlap layouts + preload communication through both
+        backends and both codegen modes."""
+        program = parse(STENCIL_SRC, name="stencil")
+        stmt = program.statements()[0]
+        comps = {stmt.name: block_loop(stmt, ["i"], [8])}
+        layout = {
+            "A": block(program.arrays["A"], [8]),
+            "B": block(program.arrays["B"], [8]),
+        }
+        params = {"N": 30, "T": 1, "P": 4}
+        base = None
+        for vec, backend in COMBOS:
+            spmd = generate_spmd(
+                program, comps, initial_data=layout,
+                options=SPMDOptions(vectorize=vec),
+            )
+            result = run_spmd(
+                spmd, params, initial_data=layout, backend=backend
+            )
+            if base is None:
+                base = result
+            else:
+                assert_identical_runs(
+                    base, result, f"vectorize={vec} backend={backend}"
+                )
+
+
+@st.composite
+def random_pipeline(draw):
+    shift = draw(st.integers(0, 4))
+    block_size = draw(st.sampled_from([4, 8, 12]))
+    nprocs = draw(st.integers(1, 3))
+    n = draw(st.integers(16, 28))
+    size = n + shift + 2
+    src = (
+        f"array A[{size}]\n"
+        f"array B[{size}]\n"
+        f"for i = 0 to {n} do\n"
+        f"  s1: A[i] = i + 2\n"
+        f"for j = {shift} to {n} do\n"
+        f"  s2: B[j] = A[j - {shift}] + B[j]\n"
+    )
+    return src, block_size, nprocs
+
+
+class TestRandomProgramEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(random_pipeline())
+    def test_random_pipeline_identical_everywhere(self, case):
+        src, block_size, nprocs = case
+        prog = parse(src)
+        s1 = prog.statement("s1")
+        s2 = prog.statement("s2")
+        comps = {"s1": block_loop(s1, ["i"], [block_size])}
+        comps["s2"] = block_loop(
+            s2, ["j"], [block_size], space=comps["s1"].space
+        )
+        init = {"B": block(prog.arrays["B"], [block_size])}
+
+        def build(options):
+            return generate_spmd(
+                prog, comps, initial_data=init, options=options
+            )
+
+        compiled = {
+            vec: build(SPMDOptions(vectorize=vec))
+            for vec in (False, True)
+        }
+        base = None
+        for vec, backend in COMBOS:
+            result = run_spmd(
+                compiled[vec], {"P": nprocs},
+                initial_data=init, backend=backend,
+            )
+            if base is None:
+                base = result
+            else:
+                assert_identical_runs(
+                    base, result, f"vectorize={vec} backend={backend}"
+                )
+
+
+class TestCoopScheduler:
+    def _machine(self, nprocs=2, timeout=60.0):
+        prog = parse(FIG2_SRC)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        return Machine(
+            prog, comp.space, {"N": 70, "T": 0, "P": nprocs},
+            timeout=timeout, backend="coop",
+        )
+
+    def test_unknown_backend_rejected(self):
+        prog = parse(FIG2_SRC)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        with pytest.raises(ValueError):
+            Machine(
+                prog, comp.space, {"N": 70, "T": 0, "P": 2},
+                backend="fibers",
+            )
+
+    def test_structural_deadlock_detected_fast(self):
+        """A mismatched receive must be diagnosed structurally (the
+        monitor's in-flight audit), not by waiting out the timeout."""
+        machine = self._machine(nprocs=2, timeout=60.0)
+
+        def bad_node(proc):
+            proc.arrays  # touch, then wait on a tag nobody sends
+            payload = yield ("recv", (0,), ("never", proc.myp[0]))
+            del payload
+
+        start = time.monotonic()
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run(bad_node)
+        assert time.monotonic() - start < 2.0
+        report = excinfo.value.report
+        assert report is not None
+        assert {p.myp for p in report.blocked} == {(0,), (1,)}
+        assert report.in_flight == 0
+
+    def test_one_sided_deadlock_names_the_waiter(self):
+        """One processor finishes; the other waits forever on it."""
+        machine = self._machine(nprocs=2, timeout=60.0)
+
+        def node(proc):
+            if proc.myp == (1,):
+                yield ("recv", (0,), ("ghost",))
+
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run(node)
+        assert "(1,)" in str(excinfo.value)
