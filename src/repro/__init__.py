@@ -28,6 +28,8 @@ from .runtime import (
     DeadlockError,
     FaultPlan,
     Machine,
+    TraceBuffer,
+    TraceEvent,
     TransportError,
     check_against_sequential,
     run_spmd,
@@ -40,6 +42,8 @@ __all__ = [
     "DeadlockError",
     "FaultPlan",
     "Machine",
+    "TraceBuffer",
+    "TraceEvent",
     "TransportError",
     "ProcSpace",
     "SPMD",

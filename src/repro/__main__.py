@@ -176,6 +176,7 @@ def cmd_run(args) -> int:
     policy = _build_checkpoint_policy(args)
     if plan is not None:
         print(f"injecting faults: {plan.describe()}")
+    want_trace = bool(args.trace or args.trace_summary)
     try:
         result = check_against_sequential(
             spmd,
@@ -187,6 +188,7 @@ def cmd_run(args) -> int:
             checkpoint=policy,
             max_restarts=args.max_restarts,
             backend=args.backend,
+            trace=want_trace or None,
         )
     except (CrashError, DeadlockError, TransportError) as exc:
         print(f"run FAILED: {type(exc).__name__}")
@@ -217,6 +219,16 @@ def cmd_run(args) -> int:
         )
         for event in result.crash_events:
             print(f"  {event.describe()}")
+    if args.trace and result.trace is not None:
+        result.trace.write_chrome(args.trace)
+        print(
+            f"trace: {len(result.trace)} events written to {args.trace} "
+            f"(Chrome trace_event JSON; open in https://ui.perfetto.dev)"
+        )
+    if args.trace_summary and result.trace is not None:
+        from .runtime import summarize
+
+        print(summarize(result))
     report = communication_report(
         spmd, {k: v for k, v in params.items() if not k.startswith("P")}
     )
@@ -265,6 +277,17 @@ def main(argv=None) -> int:
         "processor (default), coop = all processors as coroutines on "
         "one thread in deterministic virtual-time order (faster; same "
         "results)",
+    )
+    p_run.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a typed event trace and write it as Chrome "
+        "trace_event JSON (viewable in Perfetto / chrome://tracing)",
+    )
+    p_run.add_argument(
+        "--trace-summary", action="store_true",
+        help="record a trace and print its analyses: per-(sender, "
+        "receiver) communication matrix, per-processor makespan "
+        "decomposition, and the critical path",
     )
     p_run.add_argument(
         "--no-vectorize", action="store_true",

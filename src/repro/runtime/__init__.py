@@ -12,10 +12,23 @@ Layered as a small distributed runtime:
 * :mod:`~repro.runtime.diagnostics` -- progress monitoring, structured
   deadlock and crash reports;
 * :mod:`~repro.runtime.collective` -- all-to-all data reorganization;
+* :mod:`~repro.runtime.trace` / :mod:`~repro.runtime.analysis` --
+  typed event tracing with comm-matrix, makespan-decomposition and
+  critical-path analyses (Chrome ``trace_event`` export);
 * :mod:`~repro.runtime.validate` -- validation against sequential
   execution.
 """
 
+from .analysis import (
+    CommEdge,
+    CommMatrix,
+    CriticalPath,
+    Decomposition,
+    comm_matrix,
+    critical_path,
+    decompose,
+    summarize,
+)
 from .checkpoint import CheckpointPolicy, CheckpointStore
 from .collective import CollectiveStats, ReorganizeError, reorganize
 from .diagnostics import (
@@ -36,6 +49,7 @@ from .machine import (
     drive_node,
 )
 from .scheduler import CoopScheduler
+from .trace import TraceBuffer, TraceEvent, match_messages
 from .transport import (
     DirectTransport,
     Envelope,
@@ -50,8 +64,12 @@ __all__ = [
     "CheckpointPolicy",
     "CheckpointStore",
     "CollectiveStats",
+    "CommEdge",
+    "CommMatrix",
     "CoopScheduler",
     "CostModel",
+    "CriticalPath",
+    "Decomposition",
     "CrashError",
     "CrashEvent",
     "CrashReport",
@@ -68,11 +86,18 @@ __all__ = [
     "ReliableTransport",
     "ReorganizeError",
     "RunResult",
+    "TraceBuffer",
+    "TraceEvent",
     "Transport",
     "TransportError",
     "UnreliableTransport",
     "check_against_sequential",
+    "comm_matrix",
+    "critical_path",
+    "decompose",
     "drive_node",
+    "match_messages",
     "reorganize",
     "run_spmd",
+    "summarize",
 ]

@@ -52,6 +52,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from .trace import TraceEvent
 from .transport import copy_payload
 
 __all__ = ["CheckpointPolicy", "CheckpointStore", "Snapshot"]
@@ -206,9 +207,17 @@ class CheckpointStore:
         cost = proc.machine.cost
         words = int(sum(arr.size for arr in proc.arrays.values()))
         charge = cost.checkpoint_word_time * words
+        start = proc.clock
         proc.clock += charge
         proc.stats.checkpoints += 1
         proc.stats.checkpoint_time += charge
+        trace = proc.machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="checkpoint", rank=proc.myp, start=start,
+                end=proc.clock, words=words,
+                incarnation=proc._incarnation,
+            ))
         if policy.interval is not None:
             proc._next_cp_time = proc.clock + policy.interval
         self.snapshot(proc)

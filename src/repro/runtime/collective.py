@@ -19,6 +19,7 @@ import numpy as np
 
 from ..decomp import DataDecomp
 from .machine import CostModel
+from .trace import TraceBuffer, TraceEvent
 
 
 class ReorganizeError(Exception):
@@ -49,6 +50,7 @@ def reorganize(
     to_decomp: DataDecomp,
     params: Mapping[str, int],
     cost: Optional[CostModel] = None,
+    trace: Optional[TraceBuffer] = None,
 ) -> CollectiveStats:
     """Relayout ``array_name`` from one decomposition to the other.
 
@@ -131,4 +133,19 @@ def reorganize(
     if stats.per_pair:
         largest = max(stats.per_pair.values())
         stats.elapsed = cost.alpha + cost.beta * largest + cost.latency
+    if trace is not None and stats.per_pair:
+        # the all-to-all model runs every pair in parallel from t=0, so
+        # each leg spans its own startup + wire time
+        for (src, dst), n in sorted(stats.per_pair.items()):
+            trace.emit(TraceEvent(
+                kind="reorg", rank=tuple(src), start=0.0,
+                end=cost.alpha + cost.beta * n + cost.latency,
+                peer=tuple(dst), words=n,
+                note=f"reorganize {array_name}",
+            ))
+        trace.emit(TraceEvent(
+            kind="reorg", rank=(), start=0.0, end=stats.elapsed,
+            words=stats.words, count=stats.messages,
+            note=f"reorganize {array_name} (all-to-all)",
+        ))
     return stats

@@ -60,6 +60,7 @@ from .diagnostics import (
     ProgressMonitor,
 )
 from .faults import FaultPlan, ProcessorCrashed
+from .trace import TraceBuffer, TraceEvent
 from .transport import (
     DirectTransport,
     Envelope,
@@ -105,6 +106,21 @@ class ProcStats:
     compute_time: float = 0.0
     stall_time: float = 0.0
     multicasts: int = 0
+    # -- decomposition completeness (added with the tracing subsystem):
+    # every clock mutation lands in exactly one time bucket, so the
+    # buckets sum to the processor's finish clock (see
+    # ``analysis.Decomposition``)
+    #: sender-side software overhead (alpha + beta*words per message,
+    #: retransmissions included)
+    send_time: float = 0.0
+    #: receiver-side software overhead (recv_overhead per message)
+    recv_time: float = 0.0
+    words_received: int = 0
+    #: explicit ``Processor.tick`` charges
+    tick_time: float = 0.0
+    #: crash-recovery clock jumps applied to this processor (failure
+    #: detection + restart penalty + snapshot reload, per rollback)
+    recovery_time: float = 0.0
     # -- reliability-layer accounting (all zero on the default path) --------
     retransmissions: int = 0
     duplicates_sent: int = 0
@@ -134,6 +150,10 @@ class RunResult:
     checkpoints: int = 0
     #: every fail-stop crash observed, in order
     crash_events: List[CrashEvent] = field(default_factory=list)
+    #: per-processor finish clocks (``makespan`` is their max)
+    clocks: Dict[Tuple[int, ...], float] = field(default_factory=dict)
+    #: the run's event trace when tracing was enabled, else None
+    trace: Optional[TraceBuffer] = None
 
     def stat_sum(self, attr: str) -> float:
         return sum(getattr(s, attr) for s in self.stats.values())
@@ -213,8 +233,15 @@ class Processor:
         flops = 1 + len(stmt.reads)
         self.stats.flops += flops
         cost = flops * self.machine.cost.flop_time
+        start = self.clock
         self.clock += cost
         self.stats.compute_time += cost
+        trace = self.machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="compute", rank=self.myp, start=start, end=self.clock,
+                stmt=stmt.name, incarnation=self._incarnation,
+            ))
         self._after_op()
 
     def execute_block(
@@ -274,6 +301,7 @@ class Processor:
         flops = 1 + len(stmt.reads)
         self.stats.flops += flops * n
         cost = flops * machine.cost.flop_time
+        start = self.clock
         if float(cost).is_integer():
             total = cost * n
             self.clock += total
@@ -286,6 +314,14 @@ class Processor:
                 ctime += cost
             self.clock = clock
             self.stats.compute_time = ctime
+        trace = machine.trace
+        if trace is not None:
+            # one spanning event for the whole block: same decomposition
+            # as n scalar compute events, one record
+            trace.emit(TraceEvent(
+                kind="compute", rank=self.myp, start=start, end=self.clock,
+                stmt=stmt.name, count=n, incarnation=self._incarnation,
+            ))
 
     def _vector_safe(self, stmt, var, lo, step, env) -> bool:
         verdict = stmt.vector_fn
@@ -335,6 +371,15 @@ class Processor:
             return
         self._maybe_crash()
         self._maybe_stall()
+        trace = self.machine.trace
+        if trace is not None:
+            # the shipped cost models fold marshalling into alpha/beta,
+            # so pack is a zero-span marker at the send boundary
+            trace.emit(TraceEvent(
+                kind="pack", rank=self.myp, start=self.clock, end=self.clock,
+                tag=tag, peer=tuple(dest), words=len(payload),
+                incarnation=self._incarnation,
+            ))
         self.machine.transport.send(self, dest, tag, payload)
         self._after_op()
 
@@ -349,13 +394,20 @@ class Processor:
             return
         self._maybe_crash()
         self._maybe_stall()
+        trace = self.machine.trace
+        if trace is not None and dests:
+            trace.emit(TraceEvent(
+                kind="pack", rank=self.myp, start=self.clock, end=self.clock,
+                tag=tag, words=len(payload), count=len(dests),
+                incarnation=self._incarnation,
+            ))
         self.machine.transport.multicast(self, dests, tag, payload)
         self._after_op()
 
     def recv(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
         # ``src`` is advisory (kept for readable generated code); the tag
         # alone identifies the message -- it embeds the virtual sender.
-        replayed = self._recv_prologue()
+        replayed = self._recv_prologue(tag)
         if replayed is not None:
             return replayed
         machine = self.machine
@@ -387,7 +439,7 @@ class Processor:
             self._recv_accept(envelope)
         return self._recv_finish(tag)
 
-    def _recv_prologue(self):
+    def _recv_prologue(self, tag: Optional[tuple] = None):
         """The pre-wait half of ``recv``: loop-cursor advance, replay
         fast path, crash/stall checks.  Returns the replayed payload
         during fast-forward, None when the receive must run live.
@@ -396,6 +448,15 @@ class Processor:
             return self.machine.checkpoints.replay_recv(self)
         self._maybe_crash()
         self._maybe_stall()
+        trace = self.machine.trace
+        if trace is not None:
+            # the wait begins here, at a deterministic model clock (how
+            # long it lasts in *wall* time is a backend artifact the
+            # trace never records)
+            trace.emit(TraceEvent(
+                kind="recv-wait", rank=self.myp, start=self.clock,
+                end=self.clock, tag=tag, incarnation=self._incarnation,
+            ))
         return None
 
     def _recv_accept(self, envelope: Envelope) -> None:
@@ -407,6 +468,17 @@ class Processor:
                 # retransmitted/duplicated copy of a message we
                 # already hold: the protocol discards it
                 self.stats.duplicates_dropped += 1
+                trace = self.machine.trace
+                if trace is not None:
+                    # which *wait* dequeues the duplicate is a wall-clock
+                    # artifact, so this marker is excluded from the
+                    # normalized cross-backend view (UNSTABLE_KINDS)
+                    trace.emit(TraceEvent(
+                        kind="dup-drop", rank=self.myp, start=self.clock,
+                        end=self.clock, tag=envelope.tag,
+                        peer=tuple(envelope.src), seq=envelope.seq,
+                        incarnation=self._incarnation,
+                    ))
                 return
             self._seen_seqs.add(seen_key)
         self._stash[envelope.tag] = (envelope.payload, envelope.arrival)
@@ -419,11 +491,27 @@ class Processor:
         payload, arrival = self._stash.pop(tag)
         machine.monitor.record_recv(self.myp, tag)
         cost = machine.cost
+        start = self.clock
         ready = self.clock + cost.recv_overhead
         if arrival > ready:
             self.stats.stall_time += arrival - ready
         self.clock = max(ready, arrival)
         self.stats.messages_received += 1
+        self.stats.recv_time += cost.recv_overhead
+        self.stats.words_received += len(payload)
+        trace = machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="recv-complete", rank=self.myp, start=start,
+                end=self.clock, tag=tag, words=len(payload),
+                arrival=arrival, overhead=cost.recv_overhead,
+                incarnation=self._incarnation,
+            ))
+            trace.emit(TraceEvent(
+                kind="unpack", rank=self.myp, start=self.clock,
+                end=self.clock, tag=tag, words=len(payload),
+                incarnation=self._incarnation,
+            ))
         store = machine.checkpoints
         if store is not None:
             store.log_recv(self.myp, self._pc, tag, payload)
@@ -439,13 +527,32 @@ class Processor:
         consumption pays the receive cost (the rest are local reuse).
         """
         if tag in self._mc_cache:
+            self._trace_mc_hit(tag)
             return self._mc_cache[tag]
         payload = self.recv(src, tag)
         self._mc_cache[tag] = payload
         return payload
 
+    def _trace_mc_hit(self, tag: tuple) -> None:
+        """Record a multicast-cache reuse (free: no message, no cost).
+        Called by both backends' cached-receive paths."""
+        trace = self.machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="mc-hit", rank=self.myp, start=self.clock,
+                end=self.clock, tag=tag, incarnation=self._incarnation,
+            ))
+
     def tick(self, amount: float) -> None:
+        start = self.clock
         self.clock += amount
+        self.stats.tick_time += amount
+        trace = self.machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="tick", rank=self.myp, start=start, end=self.clock,
+                incarnation=self._incarnation,
+            ))
 
     def finish(self) -> None:
         """Mark this processor's node program complete.
@@ -470,8 +577,15 @@ class Processor:
             return
         stall = plan.stall(self.myp, self._pc)
         if stall > 0:
+            start = self.clock
             self.clock += stall
             self.stats.fault_stall_time += stall
+            trace = self.machine.trace
+            if trace is not None:
+                trace.emit(TraceEvent(
+                    kind="stall", rank=self.myp, start=start,
+                    end=self.clock, incarnation=self._incarnation,
+                ))
 
     # -- crash-tolerance internals -------------------------------------------
 
@@ -508,6 +622,11 @@ class Processor:
         self.stats = _dc_replace(snap.stats)
         self._next_cp_time = snap.next_cp_time
         self.clock = self._resume_clock
+        # the jump from the snapshot's clock to the resume clock is
+        # recovery (failure detection + restart penalty + reload); with
+        # it in a bucket, the time-decomposition identity -- stat
+        # buckets sum to the finish clock -- survives rollbacks
+        self.stats.recovery_time += self._resume_clock - snap.clock
 
     def _maybe_crash(self, comm: bool = True) -> None:
         """Fail-stop fault check, evaluated before each live operation."""
@@ -604,12 +723,18 @@ class Machine:
         checkpoint: Optional[CheckpointPolicy] = None,
         max_restarts: int = 3,
         backend: str = "threads",
+        trace: Union[bool, TraceBuffer, None] = None,
     ):
         if backend not in ("threads", "coop"):
             raise ValueError(
                 f"unknown backend {backend!r} (expected 'threads' or 'coop')"
             )
         self.backend = backend
+        #: event trace: None (off, the default -- observably free),
+        #: True (allocate a fresh buffer), or a caller-owned TraceBuffer
+        self.trace: Optional[TraceBuffer] = (
+            TraceBuffer() if trace is True else (trace or None)
+        )
         self.program = program
         self.space = space
         self.params = dict(params)
@@ -736,6 +861,9 @@ class Machine:
         if self.checkpoints is not None:
             for proc in self.procs.values():
                 self.checkpoints.baseline(proc)
+        if self.trace is not None:
+            for myp in coords:
+                self.trace.register(myp)
         self.monitor.reset(total=len(self.procs))
 
         restarts = 0
@@ -761,6 +889,13 @@ class Machine:
                 for exc in crashes
             ]
             crash_events.extend(events)
+            if self.trace is not None:
+                for event in events:
+                    self.trace.emit(TraceEvent(
+                        kind="crash", rank=event.myp,
+                        start=event.model_time, end=event.model_time,
+                        incarnation=event.incarnation, note=event.cause,
+                    ))
             if self.checkpoints is None or restarts >= self.max_restarts:
                 report = self._build_crash_report(crash_events, restarts)
                 dead = ", ".join(str(myp) for myp in report.dead)
@@ -785,6 +920,8 @@ class Machine:
             recovery_time=recovery_time,
             checkpoints=store.checkpoints_taken if store else 0,
             crash_events=crash_events,
+            clocks={myp: proc.clock for myp, proc in self.procs.items()},
+            trace=self.trace,
         )
 
     def _run_incarnation(
@@ -867,6 +1004,12 @@ class Machine:
                 + cost.checkpoint_word_time * snap.words
             )
             recovered += resume - snap.clock
+            if self.trace is not None:
+                self.trace.emit(TraceEvent(
+                    kind="restart", rank=myp, start=snap.clock, end=resume,
+                    incarnation=incarnation,
+                    note=f"rollback to op {snap.pc}",
+                ))
             proc = Processor(
                 self,
                 myp,

@@ -127,6 +127,9 @@ class CoopScheduler:
                     mc = True
                     cached = proc._mc_cache.get(tag)
                     if cached is not None:
+                        # same trace point as Processor.recv_mc's cache
+                        # hit on the threaded backend
+                        proc._trace_mc_hit(tag)
                         request = gen.send(cached)
                         continue
                 elif kind == "recv":
@@ -135,7 +138,7 @@ class CoopScheduler:
                     raise TypeError(
                         f"node program yielded unknown request kind {kind!r}"
                     )
-                replayed = proc._recv_prologue()
+                replayed = proc._recv_prologue(tag)
                 if replayed is not None:  # checkpoint fast-forward replay
                     if mc:
                         proc._mc_cache[tag] = replayed

@@ -44,6 +44,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .faults import FaultPlan
+from .trace import TraceEvent
 
 __all__ = [
     "DirectTransport",
@@ -111,14 +112,43 @@ class Transport:
     # -- shared helpers ------------------------------------------------------
 
     @staticmethod
-    def _charge_startup(proc, payload) -> None:
+    def _charge_startup(proc, payload) -> float:
         cost = proc.machine.cost
-        proc.clock += cost.alpha + cost.beta * len(payload)
+        charge = cost.alpha + cost.beta * len(payload)
+        proc.clock += charge
+        proc.stats.send_time += charge
+        return charge
 
     @staticmethod
     def _count(proc, payload) -> None:
         proc.stats.messages_sent += 1
         proc.stats.words_sent += len(payload)
+
+    @staticmethod
+    def _trace_send(proc, dest, tag, payload, start, *,
+                    attempt=0, seq=None, note="") -> None:
+        """Record one logical send.  ``start`` is the sender's clock
+        before the startup charge (the event spans it); multicast legs
+        pass ``start == clock`` so only the parent event carries the
+        single shared charge."""
+        trace = proc.machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="send", rank=proc.myp, start=start, end=proc.clock,
+                tag=tag, peer=tuple(dest), words=len(payload),
+                attempt=attempt, seq=seq,
+                incarnation=proc._incarnation, note=note,
+            ))
+
+    @staticmethod
+    def _trace_multicast(proc, dests, tag, payload, start) -> None:
+        trace = proc.machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="multicast", rank=proc.myp, start=start,
+                end=proc.clock, tag=tag, words=len(payload),
+                count=len(dests), incarnation=proc._incarnation,
+            ))
 
 
 class DirectTransport(Transport):
@@ -128,6 +158,7 @@ class DirectTransport(Transport):
 
     def send(self, proc, dest, tag, payload) -> None:
         machine = proc.machine
+        start = proc.clock
         self._charge_startup(proc, payload)
         self._count(proc, payload)
         arrival = proc.clock + machine.cost.latency
@@ -137,13 +168,16 @@ class DirectTransport(Transport):
                      proc._pc),
         )
         machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
+        self._trace_send(proc, dest, tag, payload, start)
 
     def multicast(self, proc, dests, tag, payload) -> None:
         if not dests:
             return
         machine = proc.machine
+        start = proc.clock
         self._charge_startup(proc, payload)
         proc.stats.multicasts += 1
+        self._trace_multicast(proc, dests, tag, payload, start)
         for dest in dests:
             self._count(proc, payload)
             arrival = proc.clock + machine.cost.latency
@@ -153,6 +187,8 @@ class DirectTransport(Transport):
                          proc._pc),
             )
             machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
+            self._trace_send(proc, dest, tag, payload, proc.clock,
+                             note="multicast")
 
 
 class UnreliableTransport(Transport):
@@ -164,24 +200,29 @@ class UnreliableTransport(Transport):
         self.plan = plan
 
     def send(self, proc, dest, tag, payload) -> None:
+        start = proc.clock
         self._charge_startup(proc, payload)
         self._count(proc, payload)
-        self._cast(proc, dest, tag, copy_payload(payload))
+        self._cast(proc, dest, tag, copy_payload(payload), start)
 
     def multicast(self, proc, dests, tag, payload) -> None:
         if not dests:
             return
+        start = proc.clock
         self._charge_startup(proc, payload)
         proc.stats.multicasts += 1
+        self._trace_multicast(proc, dests, tag, payload, start)
         for dest in dests:
             self._count(proc, payload)
-            self._cast(proc, dest, tag, copy_payload(payload))
+            self._cast(proc, dest, tag, copy_payload(payload), proc.clock,
+                       note="multicast")
 
-    def _cast(self, proc, dest, tag, payload) -> None:
+    def _cast(self, proc, dest, tag, payload, start, note="") -> None:
         machine, plan = proc.machine, self.plan
         if plan.drops(proc.myp, dest, tag, 0):
             proc.stats.messages_lost += 1
             machine.monitor.record_send(proc.myp, dest, tag, delivered=False)
+            self._trace_send(proc, dest, tag, payload, start, note="dropped")
             return
         delay = plan.delay(proc.myp, dest, tag, 0)
         arrival = proc.clock + machine.cost.latency + delay
@@ -190,6 +231,8 @@ class UnreliableTransport(Transport):
         )
         if plan.duplicates(proc.myp, dest, tag, 0):
             proc.stats.duplicates_sent += 1
+            if not note:
+                note = "duplicated"
             machine.deliver(
                 dest,
                 Envelope(
@@ -198,6 +241,7 @@ class UnreliableTransport(Transport):
                 ),
             )
         machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
+        self._trace_send(proc, dest, tag, payload, start, note=note)
 
 
 class ReliableTransport(Transport):
@@ -226,27 +270,32 @@ class ReliableTransport(Transport):
         self.backoff = backoff
 
     def send(self, proc, dest, tag, payload) -> None:
+        start = proc.clock
         self._charge_startup(proc, payload)
         self._count(proc, payload)
-        self._transmit(proc, dest, tag, copy_payload(payload))
+        self._transmit(proc, dest, tag, copy_payload(payload), start)
 
     def multicast(self, proc, dests, tag, payload) -> None:
         if not dests:
             return
+        start = proc.clock
         self._charge_startup(proc, payload)
         proc.stats.multicasts += 1
+        self._trace_multicast(proc, dests, tag, payload, start)
         for dest in dests:
             self._count(proc, payload)
-            self._transmit(proc, dest, tag, copy_payload(payload))
+            self._transmit(proc, dest, tag, copy_payload(payload),
+                           proc.clock, note="multicast")
 
     def _initial_rto(self, cost) -> float:
         if self.rto is not None:
             return self.rto
         return 2.0 * cost.latency + cost.recv_overhead + cost.alpha
 
-    def _transmit(self, proc, dest, tag, payload) -> None:
+    def _transmit(self, proc, dest, tag, payload, start, note="") -> None:
         machine, plan = proc.machine, self.plan
         cost, monitor = machine.cost, machine.monitor
+        trace = machine.trace
         seq = proc.next_seq(dest)
         rto = self._initial_rto(cost)
         delivered_once = False
@@ -254,10 +303,22 @@ class ReliableTransport(Transport):
             if attempt:
                 # the retransmission pays full message cost again
                 proc.stats.retransmissions += 1
-                proc.clock += cost.alpha + cost.beta * len(payload)
+                start = proc.clock
+                charge = cost.alpha + cost.beta * len(payload)
+                proc.clock += charge
+                proc.stats.send_time += charge
             dropped = plan is not None and plan.drops(
                 proc.myp, dest, tag, attempt
             )
+            attempt_note = "dropped" if dropped else note
+            if trace is not None:
+                trace.emit(TraceEvent(
+                    kind="send" if attempt == 0 else "retransmit",
+                    rank=proc.myp, start=start, end=proc.clock,
+                    tag=tag, peer=tuple(dest), words=len(payload),
+                    attempt=attempt, seq=seq,
+                    incarnation=proc._incarnation, note=attempt_note,
+                ))
             if not dropped:
                 delay = (
                     plan.delay(proc.myp, dest, tag, attempt) if plan else 0.0
@@ -287,9 +348,24 @@ class ReliableTransport(Transport):
                     monitor.record_send(proc.myp, dest, tag, delivered=True)
                     return
                 proc.stats.acks_lost += 1
+                if trace is not None:
+                    trace.emit(TraceEvent(
+                        kind="ack-lost", rank=proc.myp, start=proc.clock,
+                        end=proc.clock, tag=tag, peer=tuple(dest),
+                        attempt=attempt, seq=seq,
+                        incarnation=proc._incarnation,
+                    ))
             # wait out the retransmission timer before trying again
+            timeout_start = proc.clock
             proc.clock += rto
             proc.stats.timeout_time += rto
+            if trace is not None:
+                trace.emit(TraceEvent(
+                    kind="timeout", rank=proc.myp, start=timeout_start,
+                    end=proc.clock, tag=tag, peer=tuple(dest),
+                    attempt=attempt, seq=seq,
+                    incarnation=proc._incarnation,
+                ))
             rto *= self.backoff
         monitor.record_send(proc.myp, dest, tag, delivered=delivered_once)
         raise TransportError(

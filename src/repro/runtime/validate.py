@@ -34,6 +34,7 @@ def run_spmd(
     checkpoint: Optional[CheckpointPolicy] = None,
     max_restarts: int = 3,
     backend: str = "threads",
+    trace=None,
 ) -> RunResult:
     """Execute a generated SPMD program on the simulator.
 
@@ -43,6 +44,9 @@ def run_spmd(
     ``backend`` selects the execution engine: ``"threads"`` (one OS
     thread per processor, the default) or ``"coop"`` (all processors
     as coroutines on one thread, deterministic virtual-time order).
+    ``trace=True`` (or a caller-owned
+    :class:`~.trace.TraceBuffer`) records the typed event trace on
+    ``RunResult.trace``; off by default and observably free.
     Defaults keep the historical zero-overhead direct channel.
     """
     machine = Machine(
@@ -57,6 +61,7 @@ def run_spmd(
         checkpoint=checkpoint,
         max_restarts=max_restarts,
         backend=backend,
+        trace=trace,
     )
     return machine.run(spmd.node, initial_data=initial_data, seed=seed)
 
@@ -77,6 +82,7 @@ def check_against_sequential(
     checkpoint: Optional[CheckpointPolicy] = None,
     max_restarts: int = 3,
     backend: str = "threads",
+    trace=None,
 ) -> RunResult:
     """Run and assert correctness; returns the RunResult on success.
 
@@ -105,6 +111,7 @@ def check_against_sequential(
         checkpoint=checkpoint,
         max_restarts=max_restarts,
         backend=backend,
+        trace=trace,
     )
     writers = live_out_writes(program, params)
     space = spmd.space

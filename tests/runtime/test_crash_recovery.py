@@ -388,3 +388,38 @@ class TestSeedSweepProperty:
         if res.crash_events:
             assert res.restarts >= 1
             assert res.recovery_time > 0
+
+
+class TestTracedCrashRuns:
+    """ISSUE 5 satellite 3 hook: the tracing subsystem observes crash
+    recovery without perturbing it (the full event-level assertions
+    live in test_trace_faults.py)."""
+
+    def test_traced_crash_run_matches_oracle_and_records_recovery(self):
+        spmd = fig2_spmd()
+        base = run_spmd(spmd, FIG2_PARAMS)
+        plan = FaultPlan(crashes={(1,): base.makespan / 2})
+        res = run_spmd(
+            spmd, FIG2_PARAMS, fault_plan=plan,
+            checkpoint=CheckpointPolicy(every_ops=20), trace=True,
+        )
+        assert res.restarts == 1
+        assert same_arrays(base, res)
+        counts = res.trace.counts()
+        assert counts.get("crash", 0) == 1
+        assert counts.get("restart", 0) == len(res.stats)
+        assert counts.get("checkpoint", 0) == res.stat_sum("checkpoints")
+
+    def test_tracing_does_not_change_crash_recovery(self):
+        spmd = fig2_spmd()
+        base = run_spmd(spmd, FIG2_PARAMS)
+        plan = FaultPlan(crashes={(0,): base.makespan / 3})
+        kwargs = dict(
+            fault_plan=plan, checkpoint=CheckpointPolicy(every_ops=25)
+        )
+        untraced = run_spmd(spmd, FIG2_PARAMS, **kwargs)
+        traced = run_spmd(spmd, FIG2_PARAMS, trace=True, **kwargs)
+        assert traced.makespan == untraced.makespan
+        assert traced.restarts == untraced.restarts
+        assert traced.stats == untraced.stats
+        assert same_arrays(untraced, traced)

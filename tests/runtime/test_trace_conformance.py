@@ -1,0 +1,144 @@
+"""Cross-backend trace conformance (ISSUE 5 satellite 1).
+
+The trace is only worth anything if it is a property of the *program
+on the modeled machine*, not of the engine that happened to execute
+it.  These tests pin that down: for every paper workload, the
+normalized event trace is **equal** between the threads and coop
+backends (at fixed codegen mode), and the communication-event subset
+is equal across all four backend x vectorize combinations (vectorizing
+merges compute events but must never change what is communicated or
+when).  A hypothesis sweep extends the guarantee to random fault-free
+pipelines.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import SPMDOptions, generate_spmd
+from repro.decomp import block, block_loop
+from repro.lang import parse
+from repro.runtime import run_spmd
+
+from .trace_workloads import COMBOS, COMM_KINDS, WORKLOADS, compiled
+
+
+def traced(spmd, params, backend, **kw):
+    result = run_spmd(spmd, params, backend=backend, trace=True, **kw)
+    assert result.trace is not None
+    return result
+
+
+class TestBackendConformance:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("vec", [False, True])
+    def test_normalized_trace_identical_across_backends(self, name, vec):
+        build, params = WORKLOADS[name]
+        spmd = build(SPMDOptions(vectorize=vec))
+        base = traced(spmd, params, "threads").trace.normalized()
+        assert base, f"{name}: empty trace"
+        coop = traced(spmd, params, "coop").trace.normalized()
+        assert coop == base, (
+            f"{name} vectorize={vec}: threads and coop traces differ"
+        )
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_comm_events_identical_across_all_combos(self, name):
+        build, params = WORKLOADS[name]
+        spmds = compiled(build)
+        base = None
+        for vec, backend in COMBOS:
+            rows = traced(
+                spmds[vec], params, backend
+            ).trace.normalized(COMM_KINDS)
+            if base is None:
+                base = rows
+            else:
+                assert rows == base, (
+                    f"{name} vectorize={vec} backend={backend}: "
+                    f"communication events differ from the base combo"
+                )
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_trace_is_deterministic_across_repeated_runs(self, name):
+        build, params = WORKLOADS[name]
+        spmd = build(SPMDOptions())
+        first = traced(spmd, params, "threads").trace.normalized()
+        second = traced(spmd, params, "threads").trace.normalized()
+        assert first == second
+
+    def test_vectorized_blocks_span_as_single_events(self):
+        """LU vectorizes: the vector trace must have strictly fewer
+        compute events covering the same iterations (sum of counts) and
+        the same total compute span."""
+        build, params = WORKLOADS["lu"]
+        spmds = compiled(build)
+        scalar = traced(spmds[False], params, "threads").trace
+        vector = traced(spmds[True], params, "threads").trace
+        s_events = scalar.by_kind("compute")
+        v_events = vector.by_kind("compute")
+        assert len(v_events) < len(s_events)
+        assert any(e.count > 1 for e in v_events)
+        assert sum(e.count for e in v_events) == sum(
+            e.count for e in s_events
+        )
+        assert sum(e.duration for e in v_events) == sum(
+            e.duration for e in s_events
+        )
+
+
+@st.composite
+def random_pipeline(draw):
+    shift = draw(st.integers(0, 4))
+    block_size = draw(st.sampled_from([4, 8, 12]))
+    nprocs = draw(st.integers(1, 3))
+    n = draw(st.integers(16, 28))
+    size = n + shift + 2
+    src = (
+        f"array A[{size}]\n"
+        f"array B[{size}]\n"
+        f"for i = 0 to {n} do\n"
+        f"  s1: A[i] = i + 2\n"
+        f"for j = {shift} to {n} do\n"
+        f"  s2: B[j] = A[j - {shift}] + B[j]\n"
+    )
+    return src, block_size, nprocs
+
+
+class TestRandomProgramConformance:
+    @settings(max_examples=8, deadline=None)
+    @given(random_pipeline())
+    def test_random_pipeline_traces_identical_across_backends(self, case):
+        src, block_size, nprocs = case
+        prog = parse(src)
+        s1 = prog.statement("s1")
+        s2 = prog.statement("s2")
+        comps = {"s1": block_loop(s1, ["i"], [block_size])}
+        comps["s2"] = block_loop(
+            s2, ["j"], [block_size], space=comps["s1"].space
+        )
+        init = {"B": block(prog.arrays["B"], [block_size])}
+        spmds = {
+            vec: generate_spmd(
+                prog, comps, initial_data=init,
+                options=SPMDOptions(vectorize=vec),
+            )
+            for vec in (False, True)
+        }
+        comm_base = None
+        for vec in (False, True):
+            per_backend = []
+            for backend in ("threads", "coop"):
+                result = run_spmd(
+                    spmds[vec], {"P": nprocs},
+                    initial_data=init, backend=backend, trace=True,
+                )
+                per_backend.append(result.trace)
+            assert (
+                per_backend[0].normalized() == per_backend[1].normalized()
+            )
+            comm = per_backend[0].normalized(COMM_KINDS)
+            if comm_base is None:
+                comm_base = comm
+            else:
+                assert comm == comm_base

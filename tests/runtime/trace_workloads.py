@@ -1,0 +1,141 @@
+"""Shared workload builders for the tracing test suites.
+
+Mirrors the programs and decompositions of
+``tests/runtime/test_exec_equivalence.py`` (and
+``benchmarks/workloads.py``): the tracing suites must exercise exactly
+the machine configurations whose bit-identical execution is already
+pinned down, so any trace divergence is attributable to the tracing
+subsystem alone.
+"""
+
+from repro.codegen import SPMDOptions, generate_spmd
+from repro.decomp import block_loop, onto
+from repro.lang import parse
+from repro.polyhedra import var
+
+FIG2_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+FIG8_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = f(X[i], X[i - 1], X[i - 2], X[i - 3])
+"""
+
+LU_SRC = """
+array X[N + 1][N + 1]
+assume N >= 1
+for i1 = 0 to N do
+  for i2 = i1 + 1 to N do
+    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
+    for i3 = i1 + 1 to N do
+      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
+"""
+
+PIPE_SRC = """
+array X[N + 1]
+array Y[N + 1]
+assume N >= 2
+for i = 0 to N do
+  s1: X[i] = i + 1
+for j = 1 to N do
+  s2: Y[j] = Y[j] + X[j - 1]
+"""
+
+STENCIL_SRC = """
+array A[N + 2]
+array B[N + 2]
+assume N >= 1
+for t = 1 to T do
+  for i = 1 to N do
+    B[i] = (A[i - 1] + A[i] + A[i + 1]) / 3
+"""
+
+
+def build_fig2(options):
+    program = parse(FIG2_SRC, name="figure2")
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
+    return generate_spmd(program, comps, options=options)
+
+
+def build_fig8(options):
+    program = parse(FIG8_SRC, name="figure8")
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
+    return generate_spmd(program, comps, options=options)
+
+
+def build_lu(options):
+    program = parse(LU_SRC, name="lu")
+    comps = {"s1": onto(program.statement("s1"), [var("i2")])}
+    comps["s2"] = onto(
+        program.statement("s2"), [var("i2")], space=comps["s1"].space
+    )
+    return generate_spmd(program, comps, options=options)
+
+
+def build_pipe(options):
+    program = parse(PIPE_SRC, name="pipe")
+    s1 = program.statement("s1")
+    s2 = program.statement("s2")
+    comps = {"s1": block_loop(s1, ["i"], [16])}
+    comps["s2"] = block_loop(s2, ["j"], [16], space=comps["s1"].space)
+    return generate_spmd(program, comps, options=options)
+
+
+def build_stencil(options):
+    program = parse(STENCIL_SRC, name="stencil")
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
+    return generate_spmd(program, comps, options=options)
+
+
+#: the paper's workloads x parameter sets used throughout the trace
+#: suites (matching test_exec_equivalence.WORKLOADS)
+WORKLOADS = {
+    "fig2": (build_fig2, {"N": 70, "T": 2, "P": 3}),
+    "fig8": (build_fig8, {"N": 70, "T": 2, "P": 3}),
+    "lu": (build_lu, {"N": 24, "P": 3}),
+    "pipe": (build_pipe, {"N": 44, "P": 2}),
+    "stencil": (build_stencil, {"N": 64, "T": 3, "P": 2}),
+}
+
+#: every backend x codegen combination PR 4 introduced
+COMBOS = [
+    (vec, backend)
+    for vec in (False, True)
+    for backend in ("threads", "coop")
+]
+
+#: communication-event kinds: invariant not just across backends but
+#: across scalar/vectorized codegen too (vectorization only merges
+#: compute events; it must never change what is communicated or when)
+COMM_KINDS = (
+    "pack",
+    "send",
+    "multicast",
+    "retransmit",
+    "timeout",
+    "ack-lost",
+    "recv-wait",
+    "recv-complete",
+    "unpack",
+    "mc-hit",
+)
+
+
+def compiled(build):
+    """{vectorize: SPMD} for one builder."""
+    return {
+        vec: build(SPMDOptions(vectorize=vec)) for vec in (False, True)
+    }

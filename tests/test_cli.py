@@ -114,3 +114,64 @@ class TestCLI:
         assert "run FAILED: DeadlockError" in out
         assert "deadlock audit" in out
         assert "dropped by the network" in out
+
+    def test_run_trace_writes_chrome_json(self, program_file, tmp_path,
+                                          capsys):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert (
+            main(
+                ["run", program_file, "--block", "i=32",
+                 "-D", "N=70", "-D", "T=1", "-D", "P=3",
+                 "--trace", str(out_file)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "events written to" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "M"} <= phases
+
+    def test_run_trace_summary_prints_analyses(self, program_file, capsys):
+        assert (
+            main(
+                ["run", program_file, "--block", "i=32",
+                 "-D", "N=70", "-D", "T=1", "-D", "P=3",
+                 "--trace-summary"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "communication matrix" in out
+        assert "makespan decomposition:" in out
+        assert "critical path:" in out
+
+    def test_run_without_trace_flags_records_nothing(self, program_file,
+                                                     capsys):
+        assert (
+            main(
+                ["run", program_file, "--block", "i=32",
+                 "-D", "N=70", "-D", "T=1", "-D", "P=3"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace" not in out
+
+    def test_run_trace_with_faults(self, program_file, tmp_path, capsys):
+        out_file = tmp_path / "faulty.json"
+        assert (
+            main(
+                ["run", program_file, "--block", "i=32",
+                 "-D", "N=70", "-D", "T=1", "-D", "P=3",
+                 "--drop-rate", "0.2", "--fault-seed", "3",
+                 "--trace", str(out_file), "--trace-summary"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "retransmit" in out
+        assert out_file.exists()
