@@ -115,12 +115,15 @@ def test_checkpoint_overhead(benchmark, report):
             f"{row['recovery_time']:>10.0f}"
         )
 
+    doc = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as fh:
+            doc = json.load(fh)
+    doc.update(
+        {"params": PARAMS, "clean_makespan": clean.makespan, "rows": rows}
+    )
     with open(BENCH_JSON, "w") as fh:
-        json.dump(
-            {"params": PARAMS, "clean_makespan": clean.makespan,
-             "rows": rows},
-            fh, indent=2, sort_keys=True,
-        )
+        json.dump(doc, fh, indent=2, sort_keys=True)
 
     by = {(r["crashes"], r["every_ops"]): r for r in rows}
     # zero-overhead default: no crashes, no policy == historical runtime

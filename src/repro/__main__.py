@@ -119,6 +119,38 @@ def _rate(text: str) -> float:
     return value
 
 
+def _nonneg_float(text: str) -> float:
+    """argparse type for a duration/amount flag: a float >= 0."""
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _pos_float(text: str) -> float:
+    """argparse type for an interval flag: a float > 0."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type for a count/budget flag: an int >= 0."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _pos_int(text: str) -> int:
+    """argparse type for a cadence flag: an int >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
 def _crash_spec(text: str):
     """argparse type for --crash-at: ``RANK@TIME`` or ``i,j@TIME``."""
     rank, sep, when = text.partition("@")
@@ -136,11 +168,53 @@ def _crash_spec(text: str):
         ) from None
 
 
+def _corrupt_spec(text: str):
+    """argparse type for --corrupt-at: ``SRC>DST:SEQ[@WORD]``."""
+    head, sep, word = text.partition("@")
+    src, arrow, rest = head.partition(">")
+    dst, colon, seq = rest.partition(":")
+    if not arrow or not colon:
+        raise argparse.ArgumentTypeError(
+            f"expected SRC>DST:SEQ[@WORD] (e.g. 0>1:3 or 0,1>2,0:5@7), "
+            f"got {text!r}"
+        )
+    try:
+        key = (
+            tuple(int(c) for c in src.split(",")),
+            tuple(int(c) for c in dst.split(",")),
+            int(seq),
+        )
+        return key, (int(word) if sep else 0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected SRC>DST:SEQ[@WORD] with integer coordinates, "
+            f"got {text!r}"
+        ) from None
+
+
+def _ckpt_corrupt_spec(text: str):
+    """argparse type for --checkpoint-corrupt-at: ``RANK@ORDINAL``."""
+    rank, sep, ordinal = text.partition("@")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected RANK@ORDINAL (e.g. 0@2 or 1,0@2), got {text!r}"
+        )
+    try:
+        return tuple(int(c) for c in rank.split(",")), int(ordinal)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected RANK@ORDINAL with integer fields, got {text!r}"
+        ) from None
+
+
 def _build_fault_plan(args) -> FaultPlan | None:
     """CLI fault-injection flags -> a FaultPlan (None when no faults)."""
     rates = (args.drop_rate, args.dup_rate, args.reorder_rate,
-             args.stall_rate, args.ack_drop_rate, args.crash_rate)
-    if not any(r for r in rates if r is not None) and not args.crash_at:
+             args.stall_rate, args.ack_drop_rate, args.crash_rate,
+             args.corrupt_rate, args.checkpoint_corrupt_rate)
+    schedules = (args.crash_at, args.corrupt_at,
+                 args.checkpoint_corrupt_at)
+    if not any(r for r in rates if r is not None) and not any(schedules):
         return None
     return FaultPlan(
         seed=args.fault_seed,
@@ -153,6 +227,13 @@ def _build_fault_plan(args) -> FaultPlan | None:
         stall_time=args.stall_time,
         crash_rate=args.crash_rate,
         crashes=dict(args.crash_at) if args.crash_at else None,
+        corrupt_rate=args.corrupt_rate,
+        corruptions=dict(args.corrupt_at) if args.corrupt_at else None,
+        checkpoint_corrupt_rate=args.checkpoint_corrupt_rate,
+        checkpoint_corruptions=(
+            args.checkpoint_corrupt_at
+            if args.checkpoint_corrupt_at else None
+        ),
     )
 
 
@@ -189,6 +270,9 @@ def cmd_run(args) -> int:
             max_restarts=args.max_restarts,
             backend=args.backend,
             trace=want_trace or None,
+            checksums={"auto": None, "on": True, "off": False}[
+                args.checksums
+            ],
         )
     except (CrashError, DeadlockError, TransportError) as exc:
         print(f"run FAILED: {type(exc).__name__}")
@@ -209,6 +293,16 @@ def cmd_run(args) -> int:
             f"dropped at receivers, "
             f"{result.stat_sum('timeout_time'):.0f} time units in "
             f"retransmission timeouts"
+        )
+    corrupted = result.stat_sum("corruptions_injected")
+    if corrupted or result.stat_sum("corrupt_dropped") \
+            or result.snapshots_rejected:
+        print(
+            f"integrity: {corrupted:.0f} corrupted copies injected, "
+            f"{result.stat_sum('corrupt_dropped'):.0f} discarded by "
+            f"checksum at receivers, "
+            f"{result.snapshots_rejected} checkpoint snapshot(s) "
+            f"rejected by digest"
         )
     if result.crash_events or result.checkpoints:
         print(
@@ -236,6 +330,59 @@ def cmd_run(args) -> int:
         print(f"  {label}: {counts['transfers']} transfers "
               f"in {counts['messages']} messages")
     return 0
+
+
+def cmd_chaos(args) -> int:
+    import json
+    import os
+
+    from .runtime import chaos
+    from .runtime import transport as _transport
+
+    if args.replay:
+        doc = chaos.load_reproducer(args.replay)
+        reproduced, observed = chaos.replay_reproducer(doc)
+        print(
+            f"replaying {args.replay}: recorded {doc['observed']!r}, "
+            f"observed {observed!r}"
+        )
+        if reproduced:
+            print("reproduced: the recorded failure replays deterministically")
+            return 0
+        print("NOT reproduced: the replay diverged from the recording")
+        return 1
+    workloads = list(dict.fromkeys(args.workload or sorted(chaos.WORKLOADS)))
+    backends = list(dict.fromkeys(args.backend or ["threads", "coop"]))
+    saved = _transport._VERIFY_DISABLED
+    if args.inject_bug:
+        _transport._VERIFY_DISABLED = True
+    try:
+        report = chaos.explore(
+            workloads=workloads,
+            backends=backends,
+            seeds=args.seeds,
+            corrupt_rate=args.corrupt_rate,
+            targeted=not args.no_targeted,
+            vectorize=args.vectorize,
+            shrink_budget=args.shrink_budget,
+            log=lambda msg: print(f"chaos: {msg}"),
+        )
+    finally:
+        _transport._VERIFY_DISABLED = saved
+    print(report.format())
+    if args.out and report.findings:
+        os.makedirs(args.out, exist_ok=True)
+        for index, finding in enumerate(report.findings):
+            path = os.path.join(
+                args.out,
+                f"chaos-{finding.scenario}-{finding.backend}-"
+                f"{finding.transport}-{index}.json",
+            )
+            with open(path, "w") as fh:
+                json.dump(finding.reproducer, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"  reproducer written to {path}")
+    return 0 if report.ok else 3
 
 
 def main(argv=None) -> int:
@@ -308,7 +455,7 @@ def main(argv=None) -> int:
         help="probability a delivery is delayed/reordered (default 0)",
     )
     rel.add_argument(
-        "--max-delay", type=float, default=400.0, metavar="T",
+        "--max-delay", type=_nonneg_float, default=400.0, metavar="T",
         help="maximum extra delay of a reordered delivery, in model "
         "time units (default 400)",
     )
@@ -322,7 +469,7 @@ def main(argv=None) -> int:
         help="probability of a transient processor stall per comm call",
     )
     rel.add_argument(
-        "--stall-time", type=float, default=200.0, metavar="T",
+        "--stall-time", type=_nonneg_float, default=200.0, metavar="T",
         help="mean transient-stall duration in model time units "
         "(default 200)",
     )
@@ -331,8 +478,24 @@ def main(argv=None) -> int:
         help="seed of the deterministic fault plan (default 0)",
     )
     rel.add_argument(
-        "--max-retries", type=int, default=10, metavar="N",
+        "--max-retries", type=_nonneg_int, default=10, metavar="N",
         help="reliable-transport retransmission cap (default 10)",
+    )
+    rel.add_argument(
+        "--corrupt-rate", type=_rate, default=0.0, metavar="P",
+        help="probability a transmitted payload copy is silently "
+        "corrupted on the wire (one flipped word; default 0)",
+    )
+    rel.add_argument(
+        "--corrupt-at", type=_corrupt_spec, action="append",
+        metavar="SRC>DST:SEQ[@WORD]",
+        help="corrupt one scheduled message: the SEQ-th payload from "
+        "processor SRC to DST (word WORD of it, default 0); repeatable",
+    )
+    rel.add_argument(
+        "--checksums", choices=["auto", "on", "off"], default="auto",
+        help="payload checksum verification at receivers: auto = on "
+        "exactly when corruption faults are injected (default)",
     )
     rel.add_argument(
         "--reliability",
@@ -356,20 +519,90 @@ def main(argv=None) -> int:
         "TIME; repeatable",
     )
     res.add_argument(
-        "--checkpoint-interval", type=float, default=None, metavar="T",
+        "--checkpoint-interval", type=_pos_float, default=None,
+        metavar="T",
         help="checkpoint every T model-time units (off by default; "
         "without any checkpoint flag, recovery replays from the start)",
     )
     res.add_argument(
-        "--checkpoint-every-ops", type=int, default=None, metavar="K",
+        "--checkpoint-every-ops", type=_pos_int, default=None, metavar="K",
         help="checkpoint every K processor operations (off by default)",
     )
     res.add_argument(
-        "--max-restarts", type=int, default=3, metavar="N",
+        "--checkpoint-corrupt-rate", type=_rate, default=0.0, metavar="P",
+        help="probability each checkpoint snapshot is silently "
+        "corrupted at rest (detected by digest at restore; default 0)",
+    )
+    res.add_argument(
+        "--checkpoint-corrupt-at", type=_ckpt_corrupt_spec,
+        action="append", metavar="RANK@ORDINAL",
+        help="corrupt processor RANK's ORDINAL-th checkpoint snapshot "
+        "(restore falls back to its last valid one); repeatable",
+    )
+    res.add_argument(
+        "--max-restarts", type=_nonneg_int, default=3, metavar="N",
         help="coordinated rollbacks to attempt before giving up with a "
         "crash report (default 3)",
     )
     p_run.set_defaults(fn=cmd_run)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-space exploration with shrinking "
+        "reproducers",
+        description="Enumerate corruption fault schedules over the "
+        "built-in conformance workloads, run each under both execution "
+        "backends, check the runs against bit-exact array oracles and "
+        "trace invariants, and shrink any failure to a minimal "
+        "replayable JSON reproducer.  Exit status: 0 = every schedule "
+        "met its expectation, 3 = findings (reproducers describe them).",
+    )
+    p_chaos.add_argument(
+        "--workload", action="append", metavar="NAME",
+        choices=["fig2", "fig8", "lu", "pipe", "stencil"],
+        help="workload(s) to explore (repeatable; default: all five)",
+    )
+    p_chaos.add_argument(
+        "--backend", action="append", choices=["threads", "coop"],
+        help="execution backend(s) to run under (repeatable; default: "
+        "both)",
+    )
+    p_chaos.add_argument(
+        "--seeds", type=_nonneg_int, default=8, metavar="N",
+        help="number of rate-based fault-plan seeds to sweep "
+        "(default 8)",
+    )
+    p_chaos.add_argument(
+        "--corrupt-rate", type=_rate, default=0.05, metavar="P",
+        help="corruption probability for the seed sweep (default 0.05)",
+    )
+    p_chaos.add_argument(
+        "--no-targeted", action="store_true",
+        help="skip the explicit schedules aimed at critical-path "
+        "messages",
+    )
+    p_chaos.add_argument(
+        "--vectorize", action="store_true",
+        help="explore the vectorized node programs instead of scalar",
+    )
+    p_chaos.add_argument(
+        "--shrink-budget", type=_nonneg_int, default=150, metavar="N",
+        help="max extra runs spent shrinking failing schedules "
+        "(default 150)",
+    )
+    p_chaos.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write one replayable reproducer JSON per finding here",
+    )
+    p_chaos.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="replay a reproducer JSON instead of exploring; exit 0 "
+        "iff the recorded failure reproduces",
+    )
+    p_chaos.add_argument(
+        "--inject-bug", action="store_true", help=argparse.SUPPRESS,
+    )
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -15,6 +15,8 @@ Layered as a small distributed runtime:
 * :mod:`~repro.runtime.trace` / :mod:`~repro.runtime.analysis` --
   typed event tracing with comm-matrix, makespan-decomposition and
   critical-path analyses (Chrome ``trace_event`` export);
+* :mod:`~repro.runtime.chaos` -- deterministic fault-space exploration
+  with shrinking minimal reproducers;
 * :mod:`~repro.runtime.validate` -- validation against sequential
   execution.
 """
@@ -48,25 +50,37 @@ from .machine import (
     RunResult,
     drive_node,
 )
+from .chaos import (
+    ChaosFinding,
+    ChaosReport,
+    explore,
+    load_reproducer,
+    replay_reproducer,
+)
 from .scheduler import CoopScheduler
 from .trace import TraceBuffer, TraceEvent, match_messages
 from .transport import (
+    CorruptionError,
     DirectTransport,
     Envelope,
     ReliableTransport,
     Transport,
     TransportError,
     UnreliableTransport,
+    payload_checksum,
 )
 from .validate import check_against_sequential, run_spmd
 
 __all__ = [
+    "ChaosFinding",
+    "ChaosReport",
     "CheckpointPolicy",
     "CheckpointStore",
     "CollectiveStats",
     "CommEdge",
     "CommMatrix",
     "CoopScheduler",
+    "CorruptionError",
     "CostModel",
     "CriticalPath",
     "Decomposition",
@@ -96,7 +110,11 @@ __all__ = [
     "critical_path",
     "decompose",
     "drive_node",
+    "explore",
+    "load_reproducer",
     "match_messages",
+    "payload_checksum",
+    "replay_reproducer",
     "reorganize",
     "run_spmd",
     "summarize",

@@ -59,6 +59,10 @@ class CommEdge:
     retransmissions: int = 0
     retransmitted_words: int = 0
     dropped: int = 0
+    #: wire copies the fault plan corrupted (the receiver's checksum
+    #: verification discarded them; matches the sender's
+    #: ``ProcStats.corruptions_injected`` on self-checking transports)
+    corrupted: int = 0
 
 
 @dataclass
@@ -87,6 +91,7 @@ class CommMatrix:
                 out.retransmissions += e.retransmissions
                 out.retransmitted_words += e.retransmitted_words
                 out.dropped += e.dropped
+                out.corrupted += e.corrupted
         return out
 
     def received_words(self, trace: TraceBuffer, rank: Rank) -> Tuple[int, int]:
@@ -110,24 +115,30 @@ class CommMatrix:
     def total_retransmissions(self) -> int:
         return sum(e.retransmissions for e in self.edges.values())
 
+    @property
+    def total_corrupted(self) -> int:
+        return sum(e.corrupted for e in self.edges.values())
+
     def format(self) -> str:
         if not self.edges:
             return "communication matrix: empty (no messages)"
         lines = ["communication matrix (sender -> receiver):"]
         header = (
             f"  {'from':>8} {'to':>8} {'msgs':>6} {'words':>8} "
-            f"{'retrans':>8} {'dropped':>8}"
+            f"{'retrans':>8} {'dropped':>8} {'corrupt':>8}"
         )
         lines.append(header)
         for (src, dest), e in sorted(self.edges.items()):
             lines.append(
                 f"  {str(src):>8} {str(dest):>8} {e.messages:>6} "
-                f"{e.words:>8} {e.retransmissions:>8} {e.dropped:>8}"
+                f"{e.words:>8} {e.retransmissions:>8} {e.dropped:>8} "
+                f"{e.corrupted:>8}"
             )
         lines.append(
             f"  total: {self.total_messages} messages, "
             f"{self.total_words} words, "
-            f"{self.total_retransmissions} retransmissions"
+            f"{self.total_retransmissions} retransmissions, "
+            f"{self.total_corrupted} corrupted copies"
         )
         return "\n".join(lines)
 
@@ -142,12 +153,16 @@ def comm_matrix(trace: TraceBuffer) -> CommMatrix:
             e.words += ev.words
             if ev.note == "dropped":
                 e.dropped += 1
+            elif ev.note == "corrupted":
+                e.corrupted += 1
         elif ev.kind == "retransmit":
             e = matrix.edge(ev.rank, ev.peer)
             e.retransmissions += 1
             e.retransmitted_words += ev.words
             if ev.note == "dropped":
                 e.dropped += 1
+            elif ev.note == "corrupted":
+                e.corrupted += 1
     return matrix
 
 

@@ -45,17 +45,61 @@ snapshot, and every processor resumes no earlier than the crash's
 model time -- so the makespan of a crashed-and-recovered run prices
 the lost work plus the recovery, exactly what
 ``benchmarks/bench_checkpoint_overhead.py`` sweeps.
+
+Snapshot integrity (DESIGN.md §12): stable storage can rot too.  When
+checksumming is on, every snapshot records a BLAKE2b digest of its
+array state; a corruption-capable plan may flip a word in a stored
+snapshot *after* the digest is taken (``checkpoint_corrupt_rate`` /
+explicit ``checkpoint_corruptions``).  Rollback then **verifies before
+restoring**: a snapshot whose digest no longer matches is rejected and
+recovery falls back to the previous valid cut -- more lost work,
+never garbage state.  The per-rank snapshot *history* needed for that
+fallback is retained only when the plan can corrupt checkpoints; the
+pc=0 baseline is never corrupted, so recovery always terminates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from hashlib import blake2b
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from . import transport as _transport
 from .trace import TraceEvent
 from .transport import copy_payload
 
-__all__ = ["CheckpointPolicy", "CheckpointStore", "Snapshot"]
+__all__ = [
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "Snapshot",
+    "snapshot_digest",
+]
+
+
+def snapshot_digest(arrays: Dict[str, "object"]) -> int:
+    """BLAKE2b digest of a snapshot's array state (names + bits)."""
+    h = blake2b(digest_size=8)
+    for name in sorted(arrays):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(arrays[name]).tobytes())
+    return int.from_bytes(h.digest(), "big")
+
+
+_FLIP_BIT = np.uint64(1 << 26)
+
+
+def _flip_snapshot_word(arrays: Dict[str, "object"], index: int) -> None:
+    """Flip one bit of the ``index``-th word of the snapshot's arrays,
+    flattened in sorted-name order (mirrors how ``snapshot_digest``
+    walks them)."""
+    for name in sorted(arrays):
+        flat = arrays[name].reshape(-1)
+        if index < flat.size:
+            flat.view(np.uint64)[index] ^= _FLIP_BIT
+            return
+        index -= flat.size
 
 
 @dataclass(frozen=True)
@@ -114,6 +158,15 @@ class Snapshot:
     mc_cache: Dict[tuple, List[float]]
     next_cp_time: float
     words: int
+    #: adaptive ARQ timer state per destination -- restored with the
+    #: snapshot so post-recovery retransmission timing is bit-identical
+    arq_rto: Dict[Tuple[int, ...], float] = field(default_factory=dict)
+    #: BLAKE2b digest of ``arrays`` at capture time (None when
+    #: checksumming is off); verified by rollback before restoring
+    digest: Optional[int] = None
+    #: per-rank checkpoint ordinal (0 = baseline), the key the fault
+    #: plan's checkpoint-corruption stream is indexed by
+    ordinal: int = 0
 
 
 @dataclass
@@ -126,6 +179,7 @@ class _Delivery:
     payload: List[float]
     arrival: float
     sender_pc: int
+    checksum: Optional[int] = None
 
 
 @dataclass
@@ -148,25 +202,46 @@ class CheckpointStore:
     log is guarded because any sender may append to any destination.
     """
 
-    def __init__(self, policy: Optional[CheckpointPolicy] = None):
+    def __init__(
+        self,
+        policy: Optional[CheckpointPolicy] = None,
+        plan=None,
+        digests: bool = False,
+    ):
         import threading
 
         self.policy = policy or CheckpointPolicy()
+        self.plan = plan
+        self.digests = digests
+        #: retain full per-rank snapshot history only when the plan can
+        #: corrupt stored snapshots -- that is the only case rollback
+        #: may need an older cut to fall back to
+        self.keep_history = (
+            plan is not None and plan.any_checkpoint_corruption
+        )
         self.snapshots: Dict[Tuple[int, ...], Snapshot] = {}
+        self.history: Dict[Tuple[int, ...], List[Snapshot]] = {}
         self.recv_logs: Dict[Tuple[int, ...], List[_Recv]] = {}
         self._deliveries: Dict[Tuple[Tuple[int, ...], tuple], _Delivery] = {}
         self._dlock = threading.Lock()
+        self._ordinals: Dict[Tuple[int, ...], int] = {}
         self.checkpoints_taken = 0
         self.words_checkpointed = 0
+        self.snapshots_corrupted = 0
+        self.snapshots_rejected = 0
 
     # -- snapshotting --------------------------------------------------------
 
     def snapshot(self, proc) -> Snapshot:
-        """Capture ``proc``'s state after its current operation."""
-        import copy
+        """Capture ``proc``'s state after its current operation.
 
+        The digest is taken *before* any plan-driven storage
+        corruption flips a word, which is exactly what lets rollback
+        detect the rot and reject the snapshot."""
         arrays = {name: arr.copy() for name, arr in proc.arrays.items()}
         words = int(sum(arr.size for arr in arrays.values()))
+        ordinal = self._ordinals.get(proc.myp, 0)
+        self._ordinals[proc.myp] = ordinal + 1
         snap = Snapshot(
             pc=proc._pc,
             clock=proc.clock,
@@ -184,8 +259,24 @@ class CheckpointStore:
             },
             next_cp_time=proc._next_cp_time,
             words=words,
+            arq_rto=dict(proc._arq_rto),
+            digest=snapshot_digest(arrays) if self.digests else None,
+            ordinal=ordinal,
         )
+        plan = self.plan
+        if (
+            plan is not None
+            and ordinal > 0  # the baseline is never corrupted
+            and words > 0
+            and plan.corrupts_checkpoint(proc.myp, ordinal)
+        ):
+            _flip_snapshot_word(
+                arrays, plan.checkpoint_corrupt_word(words, proc.myp, ordinal)
+            )
+            self.snapshots_corrupted += 1
         self.snapshots[proc.myp] = snap
+        if self.keep_history:
+            self.history.setdefault(proc.myp, []).append(snap)
         return snap
 
     def baseline(self, proc) -> Snapshot:
@@ -232,7 +323,13 @@ class CheckpointStore:
 
         Keyed by ``(dest, tag)``: retransmitted/duplicated copies of a
         logical message carry the same tag and payload, so the first
-        copy wins and the log stays one-entry-per-message."""
+        *valid* copy wins and the log stays one-entry-per-message.  A
+        checksum-failing copy must never enter the log: the receiver
+        will discard it, but a rollback would re-inject the logged
+        bytes as truth -- the retransmitted clean copy is the one that
+        gets recorded."""
+        if not envelope.verify():
+            return
         key = (tuple(dest), envelope.tag)
         with self._dlock:
             if key not in self._deliveries:
@@ -243,6 +340,7 @@ class CheckpointStore:
                     payload=copy_payload(envelope.payload),
                     arrival=envelope.arrival,
                     sender_pc=envelope.sender_pc,
+                    checksum=envelope.checksum,
                 )
 
     def log_recv(self, myp: Tuple[int, ...], pc: int, tag: tuple,
@@ -268,6 +366,39 @@ class CheckpointStore:
         return copy_payload(log[idx].payload)
 
     # -- rollback support ----------------------------------------------------
+
+    def _verifies(self, snap: Snapshot) -> bool:
+        if snap.digest is None or _transport._VERIFY_DISABLED:
+            return True
+        return snapshot_digest(snap.arrays) == snap.digest
+
+    def resolve_valid(self, myp) -> Tuple[Optional[Snapshot], List[Snapshot]]:
+        """The newest snapshot for ``myp`` whose digest still verifies.
+
+        Returns ``(snapshot, rejected)`` where ``rejected`` lists the
+        newer snapshots that failed verification, newest first (the
+        machine traces and counts each).  The surviving snapshot is
+        installed as the rank's current cut *before* log truncation
+        and re-injection run, so the whole rollback is computed
+        against the fallback cut.  Must be called with every worker
+        thread joined (it mutates ``snapshots``)."""
+        myp = tuple(myp)
+        snap = self.snapshots.get(myp)
+        if snap is None:
+            return None, []
+        chain = self.history.get(myp) or [snap]
+        rejected: List[Snapshot] = []
+        for cand in reversed(chain):
+            if self._verifies(cand):
+                if rejected:
+                    self.snapshots_rejected += len(rejected)
+                    self.snapshots[myp] = cand
+                return cand, rejected
+            rejected.append(cand)
+        # unreachable with digests on -- the ordinal-0 baseline is
+        # never corrupted -- but without digests restore the newest
+        # snapshot exactly as the pre-verification runtime did
+        return snap, []
 
     def truncate_recv_logs(self) -> None:
         """Drop log entries past each processor's cut; the aborted

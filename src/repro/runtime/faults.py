@@ -43,6 +43,24 @@ Fault classes modeled (all optional, all off by default):
     doomed to die at the same instruction forever), while the whole
     run remains a pure function of the seed.  Recovery lives in
     :mod:`repro.runtime.checkpoint`.
+``corrupt_rate`` / ``corruptions``
+    **silent data corruption**: ``corrupt_rate`` is the probability a
+    delivered payload copy has one word flipped in flight, and
+    ``corruptions`` is an explicit schedule ``{(src, dst, seq):
+    word_index}`` naming exactly which word of which logical message is
+    flipped (``seq`` is the per-``(src, dst)`` channel message ordinal,
+    counted from 0 in the sender's deterministic program order --
+    identical across transports and backends, so schedules are
+    replayable anywhere).  Explicit corruptions hit the original
+    transmission (attempt 0); the rate stream is keyed by ``(src, dst,
+    seq, attempt)`` so ARQ retransmissions re-roll.  Detection and
+    recovery live in :mod:`repro.runtime.transport` (checksums).
+``checkpoint_corrupt_rate`` / ``checkpoint_corruptions``
+    **stable-storage corruption**: a taken snapshot has one array word
+    flipped after its digest was recorded, keyed by ``(rank,
+    checkpoint_ordinal)``.  A corrupted snapshot is detected at
+    restore time (digest mismatch) and recovery falls back to the
+    previous valid snapshot (see :mod:`repro.runtime.checkpoint`).
 """
 
 from __future__ import annotations
@@ -51,7 +69,29 @@ from dataclasses import dataclass, field
 from hashlib import blake2b
 from typing import Mapping, Optional, Tuple, Union
 
-__all__ = ["FaultPlan", "ProcessorCrashed"]
+import numpy as np
+
+__all__ = ["FaultPlan", "ProcessorCrashed", "flip_word"]
+
+#: the bit flipped in a corrupted float64 word: a mid-mantissa bit, so
+#: every normal value changes detectably without jumping to inf/NaN
+_FLIP_BIT = np.uint64(1 << 26)
+
+
+def flip_word(payload, index: int) -> None:
+    """Flip one bit of word ``index`` of ``payload``, in place.
+
+    Payloads are float64 numpy vectors on the generated-code path and
+    plain float lists from hand-written harnesses; both are corrupted
+    through their IEEE-754 bit pattern so the flip is always observable
+    to a checksum (and to any bit-exact oracle, NaN payloads aside).
+    """
+    if isinstance(payload, np.ndarray):
+        payload.view(np.uint64)[index] ^= _FLIP_BIT
+        return
+    word = np.array([payload[index]], dtype=np.float64)
+    word.view(np.uint64)[0] ^= _FLIP_BIT
+    payload[index] = float(word[0])
 
 
 class ProcessorCrashed(Exception):
@@ -109,15 +149,34 @@ class FaultPlan:
         Tuple[Tuple[Tuple[int, ...], float], ...],
         None,
     ] = None
+    corrupt_rate: float = 0.0
+    #: explicit corruption schedule: ``{(src, dst, seq): word_index}``
+    #: with ``seq`` the per-channel message ordinal; normalized to a
+    #: sorted tuple of ``((src, dst, seq), word_index)`` entries.
+    corruptions: Union[
+        Mapping[tuple, int],
+        Tuple[Tuple[Tuple[Tuple[int, ...], Tuple[int, ...], int], int], ...],
+        None,
+    ] = None
+    checkpoint_corrupt_rate: float = 0.0
+    #: explicit snapshot-corruption schedule: ``{(rank, ordinal)}`` or
+    #: an iterable of such pairs (``ordinal`` counts the policy-taken
+    #: checkpoints of that rank from 0; the free pc=0 baseline is never
+    #: corrupted, so recovery always terminates).
+    checkpoint_corruptions: Union[
+        Tuple[Tuple[Tuple[int, ...], int], ...], None,
+    ] = None
 
     def __post_init__(self) -> None:
         for name in (
             "drop_rate", "dup_rate", "reorder_rate", "stall_rate",
-            "crash_rate",
+            "crash_rate", "corrupt_rate", "checkpoint_corrupt_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got {rate!r}"
+                )
         if self.ack_drop_rate is not None and not 0.0 <= self.ack_drop_rate <= 1.0:
             raise ValueError(
                 f"ack_drop_rate must be in [0, 1], got {self.ack_drop_rate!r}"
@@ -139,6 +198,38 @@ class FaultPlan:
                     )
                 normalized.append((coords, float(when)))
             object.__setattr__(self, "crashes", tuple(sorted(normalized)))
+        if self.corruptions is not None:
+            normalized = []
+            items = (
+                self.corruptions.items()
+                if isinstance(self.corruptions, Mapping)
+                else self.corruptions
+            )
+            for key, word in items:
+                src, dst, seq = key
+                src = (src,) if isinstance(src, int) else tuple(src)
+                dst = (dst,) if isinstance(dst, int) else tuple(dst)
+                if seq < 0 or word < 0:
+                    raise ValueError(
+                        f"corruption schedule entries need seq >= 0 and "
+                        f"word_index >= 0, got {key!r}: {word!r}"
+                    )
+                normalized.append(((src, dst, int(seq)), int(word)))
+            object.__setattr__(
+                self, "corruptions", tuple(sorted(normalized))
+            )
+        if self.checkpoint_corruptions is not None:
+            normalized = []
+            for rank, ordinal in self.checkpoint_corruptions:
+                coords = (rank,) if isinstance(rank, int) else tuple(rank)
+                if ordinal < 0:
+                    raise ValueError(
+                        f"checkpoint ordinal must be >= 0, got {ordinal!r}"
+                    )
+                normalized.append((coords, int(ordinal)))
+            object.__setattr__(
+                self, "checkpoint_corruptions", tuple(sorted(normalized))
+            )
 
     # -- derived ------------------------------------------------------------
 
@@ -155,11 +246,22 @@ class FaultPlan:
             or self.dup_rate > 0
             or self.reorder_rate > 0
             or self.effective_ack_drop_rate > 0
+            or self.any_corruption_faults
         )
 
     @property
     def any_crash_faults(self) -> bool:
         return self.crash_rate > 0 or bool(self.crashes)
+
+    @property
+    def any_corruption_faults(self) -> bool:
+        return self.corrupt_rate > 0 or bool(self.corruptions)
+
+    @property
+    def any_checkpoint_corruption(self) -> bool:
+        return self.checkpoint_corrupt_rate > 0 or bool(
+            self.checkpoint_corruptions
+        )
 
     # -- the deterministic variate stream -----------------------------------
 
@@ -215,6 +317,78 @@ class FaultPlan:
         if self._frac("reorder", src, dest, tag, attempt) >= self.reorder_rate:
             return 0.0
         return self._frac("delay", src, dest, tag, attempt) * self.max_delay
+
+    # -- silent data corruption ----------------------------------------------
+
+    def scheduled_corruption(
+        self,
+        src: Tuple[int, ...],
+        dest: Tuple[int, ...],
+        seq: int,
+    ) -> Optional[int]:
+        """The explicit word index scheduled for this logical message,
+        if any (explicit corruptions hit the original transmission)."""
+        if not self.corruptions:
+            return None
+        key = (tuple(src), tuple(dest), seq)
+        for entry, word in self.corruptions:
+            if entry == key:
+                return word
+        return None
+
+    def corrupts(
+        self,
+        src: Tuple[int, ...],
+        dest: Tuple[int, ...],
+        seq: int,
+        attempt: int,
+    ) -> bool:
+        """Is this delivered payload copy corrupted in flight?"""
+        if attempt == 0 and self.scheduled_corruption(src, dest, seq) is not None:
+            return True
+        if self.corrupt_rate <= 0:
+            return False
+        return (
+            self._frac("corrupt", src, dest, seq, attempt)
+            < self.corrupt_rate
+        )
+
+    def corrupt_word(
+        self,
+        nwords: int,
+        src: Tuple[int, ...],
+        dest: Tuple[int, ...],
+        seq: int,
+        attempt: int,
+    ) -> int:
+        """Which word of the payload the corruption flips."""
+        if attempt == 0:
+            word = self.scheduled_corruption(src, dest, seq)
+            if word is not None:
+                return min(word, nwords - 1)
+        return int(
+            self._frac("corrupt-word", src, dest, seq, attempt) * nwords
+        )
+
+    def corrupts_checkpoint(self, myp: Tuple[int, ...], ordinal: int) -> bool:
+        """Is this rank's ``ordinal``-th policy checkpoint corrupted on
+        stable storage?"""
+        if self.checkpoint_corruptions:
+            if (tuple(myp), ordinal) in self.checkpoint_corruptions:
+                return True
+        if self.checkpoint_corrupt_rate <= 0:
+            return False
+        return (
+            self._frac("ckpt-corrupt", myp, ordinal)
+            < self.checkpoint_corrupt_rate
+        )
+
+    def checkpoint_corrupt_word(
+        self, nwords: int, myp: Tuple[int, ...], ordinal: int
+    ) -> int:
+        return int(
+            self._frac("ckpt-corrupt-word", myp, ordinal) * nwords
+        )
 
     # -- per-processor stalls ------------------------------------------------
 
@@ -273,6 +447,24 @@ class FaultPlan:
                 f"{coords}@{when:g}" for coords, when in self.crashes
             )
             parts.append(f"crash-at=[{sched}]")
+        if self.corrupt_rate:
+            parts.append(f"corrupt={self.corrupt_rate:.2%}")
+        if self.corruptions:
+            sched = ", ".join(
+                f"{src}->{dst}#{seq}[{word}]"
+                for (src, dst, seq), word in self.corruptions
+            )
+            parts.append(f"corrupt-at=[{sched}]")
+        if self.checkpoint_corrupt_rate:
+            parts.append(
+                f"ckpt-corrupt={self.checkpoint_corrupt_rate:.2%}"
+            )
+        if self.checkpoint_corruptions:
+            sched = ", ".join(
+                f"{rank}#{ordinal}"
+                for rank, ordinal in self.checkpoint_corruptions
+            )
+            parts.append(f"ckpt-corrupt-at=[{sched}]")
         if len(parts) == 1:
             parts.append("no faults")
         return "FaultPlan(" + ", ".join(parts) + ")"

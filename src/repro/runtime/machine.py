@@ -62,6 +62,7 @@ from .diagnostics import (
 from .faults import FaultPlan, ProcessorCrashed
 from .trace import TraceBuffer, TraceEvent
 from .transport import (
+    CorruptionError,
     DirectTransport,
     Envelope,
     ReliableTransport,
@@ -95,6 +96,11 @@ class CostModel:
     #: fixed cost of detecting a crash and restarting a processor
     #: (failure-detector latency + reboot), charged once per rollback
     restart_penalty: float = 2000.0
+    #: per-word cost of computing/verifying a payload checksum when
+    #: self-checking transports are active; defaults to free so arming
+    #: checksums never perturbs existing model-time goldens unless the
+    #: user explicitly prices them
+    checksum_word_time: float = 0.0
 
 
 @dataclass
@@ -129,6 +135,12 @@ class ProcStats:
     messages_lost: int = 0
     timeout_time: float = 0.0
     fault_stall_time: float = 0.0
+    #: payload copies the fault plan flipped a word in, counted at the
+    #: *sender* (every wire copy, retransmissions included)
+    corruptions_injected: int = 0
+    #: checksum-failing copies this receiver discarded (ARQ transports;
+    #: the clean retransmission arrives later)
+    corrupt_dropped: int = 0
     # -- crash-tolerance accounting ------------------------------------------
     checkpoints: int = 0
     checkpoint_time: float = 0.0
@@ -150,6 +162,9 @@ class RunResult:
     checkpoints: int = 0
     #: every fail-stop crash observed, in order
     crash_events: List[CrashEvent] = field(default_factory=list)
+    #: snapshots rollback rejected because their digest no longer
+    #: matched (storage corruption); recovery fell back to older cuts
+    snapshots_rejected: int = 0
     #: per-processor finish clocks (``makespan`` is their max)
     clocks: Dict[Tuple[int, ...], float] = field(default_factory=dict)
     #: the run's event trace when tracing was enabled, else None
@@ -192,9 +207,11 @@ class Processor:
         self._mc_cache: Dict[tuple, List[float]] = {}
         self._stmts = {s.name: s for s in machine.program.statements()}
         # reliability-layer state: per-destination sequence counters at
-        # the sender, per-source seen-sequence sets at the receiver
+        # the sender, per-source seen-sequence sets at the receiver,
+        # adaptive per-channel retransmission-timer state
         self._next_seq: Dict[Tuple[int, ...], int] = {}
         self._seen_seqs: set = set()
+        self._arq_rto: Dict[Tuple[int, ...], float] = {}
         # crash-tolerance state (see class docstring)
         self._pc = 0
         self._ff_target = 0
@@ -460,8 +477,33 @@ class Processor:
         return None
 
     def _recv_accept(self, envelope: Envelope) -> None:
-        """Account one dequeued envelope into the stash (dedup-aware)."""
+        """Account one dequeued envelope into the stash (dedup-aware).
+
+        Checksum verification runs *before* the dedup seen-set insert:
+        if a corrupted copy claimed its sequence number, the clean
+        retransmission that follows would be discarded as a duplicate
+        and the channel would wedge.
+        """
         self.machine.monitor.record_dequeued()
+        if not envelope.verify():
+            if self.machine.transport.corrupt_is_drop:
+                # ARQ: drop the rotten copy; the unacked sender times
+                # out and retransmits, so no state may change here
+                self.stats.corrupt_dropped += 1
+                trace = self.machine.trace
+                if trace is not None:
+                    # like dup-drop, *which* wait dequeues the bad copy
+                    # is a wall-clock artifact (UNSTABLE_KINDS)
+                    trace.emit(TraceEvent(
+                        kind="corrupt-drop", rank=self.myp,
+                        start=self.clock, end=self.clock,
+                        tag=envelope.tag, peer=tuple(envelope.src),
+                        seq=envelope.seq, incarnation=self._incarnation,
+                    ))
+                return
+            raise CorruptionError(
+                self.myp, envelope.src, envelope.tag, envelope.seq
+            )
         if envelope.seq is not None:
             seen_key = (envelope.src, envelope.seq)
             if seen_key in self._seen_seqs:
@@ -491,20 +533,27 @@ class Processor:
         payload, arrival = self._stash.pop(tag)
         machine.monitor.record_recv(self.myp, tag)
         cost = machine.cost
+        # receiver-side checksum verification is charged at this
+        # deterministic program point (not at the wall-clock-dependent
+        # mailbox dequeue) and folded into the receive overhead so the
+        # decomposition identity survives; free unless priced
+        overhead = cost.recv_overhead
+        if machine.transport.checksummed:
+            overhead += cost.checksum_word_time * len(payload)
         start = self.clock
-        ready = self.clock + cost.recv_overhead
+        ready = self.clock + overhead
         if arrival > ready:
             self.stats.stall_time += arrival - ready
         self.clock = max(ready, arrival)
         self.stats.messages_received += 1
-        self.stats.recv_time += cost.recv_overhead
+        self.stats.recv_time += overhead
         self.stats.words_received += len(payload)
         trace = machine.trace
         if trace is not None:
             trace.emit(TraceEvent(
                 kind="recv-complete", rank=self.myp, start=start,
                 end=self.clock, tag=tag, words=len(payload),
-                arrival=arrival, overhead=cost.recv_overhead,
+                arrival=arrival, overhead=overhead,
                 incarnation=self._incarnation,
             ))
             trace.emit(TraceEvent(
@@ -611,6 +660,7 @@ class Processor:
             self.arrays[name][...] = arr
         self._next_seq = dict(snap.next_seq)
         self._seen_seqs = set(snap.seen_seqs)
+        self._arq_rto = dict(snap.arq_rto)
         self._stash = {
             tag: (copy_payload(payload), arrival)
             for tag, (payload, arrival) in snap.stash.items()
@@ -724,6 +774,7 @@ class Machine:
         max_restarts: int = 3,
         backend: str = "threads",
         trace: Union[bool, TraceBuffer, None] = None,
+        checksums: Optional[bool] = None,
     ):
         if backend not in ("threads", "coop"):
             raise ValueError(
@@ -747,6 +798,18 @@ class Machine:
         self.transport = transport or self._select_transport(
             reliability, max_retries, rto, backoff
         )
+        #: self-checking mode: None = auto (on exactly when the fault
+        #: plan can corrupt payloads or snapshots), or forced on/off.
+        #: The unreliable transport never checksums -- it exists to
+        #: demonstrate the silent failure mode.
+        if checksums is None:
+            checksums = fault_plan is not None and (
+                fault_plan.any_corruption_faults
+                or fault_plan.any_checkpoint_corruption
+            )
+        self.checksums_enabled = bool(checksums)
+        if self.checksums_enabled and self.transport.name != "unreliable":
+            self.transport.checksummed = True
         self.checkpoint_policy = checkpoint
         self.max_restarts = max_restarts
         #: live only while a crash-tolerant run is in progress; None on
@@ -785,7 +848,7 @@ class Machine:
             else:
                 mode = "direct"
         if mode == "direct":
-            return DirectTransport()
+            return DirectTransport(self.fault_plan)
         if mode == "unreliable":
             if self.fault_plan is None:
                 return DirectTransport()  # nothing to inject
@@ -849,7 +912,13 @@ class Machine:
             self.fault_plan is not None and self.fault_plan.any_crash_faults
         )
         self.checkpoints = (
-            CheckpointStore(self.checkpoint_policy) if want_store else None
+            CheckpointStore(
+                self.checkpoint_policy,
+                plan=self.fault_plan,
+                digests=self.checksums_enabled,
+            )
+            if want_store
+            else None
         )
         self._fired_crashes = set()
         self.procs = {
@@ -920,6 +989,7 @@ class Machine:
             recovery_time=recovery_time,
             checkpoints=store.checkpoints_taken if store else 0,
             crash_events=crash_events,
+            snapshots_rejected=store.snapshots_rejected if store else 0,
             clocks={myp: proc.clock for myp, proc in self.procs.items()},
             trace=self.trace,
         )
@@ -989,8 +1059,25 @@ class Machine:
         replay itself; this accounts detection + restart + reload)."""
         store = self.checkpoints
         assert store is not None
-        store.truncate_recv_logs()
         crash_time = max(event.model_time for event in events)
+        # verify every rank's snapshot digest *before* log truncation
+        # and re-injection: a rotten snapshot is rejected and its rank
+        # falls back to an older cut, and the rest of the rollback must
+        # be computed against the surviving cuts
+        for myp in self.procs:
+            _snap, rejected = store.resolve_valid(myp)
+            for bad in rejected:
+                if self.trace is not None:
+                    self.trace.emit(TraceEvent(
+                        kind="snapshot-corrupt", rank=myp,
+                        start=crash_time, end=crash_time,
+                        incarnation=incarnation,
+                        note=(
+                            f"snapshot at op {bad.pc} (ordinal "
+                            f"{bad.ordinal}) failed digest verification"
+                        ),
+                    ))
+        store.truncate_recv_logs()
         cost = self.cost
         recovered = 0.0
         fresh: Dict[Tuple[int, ...], Processor] = {}
@@ -1030,7 +1117,7 @@ class Machine:
                     myp,
                     Envelope(
                         rec.src, rec.seq, rec.tag, copy_payload(rec.payload),
-                        rec.arrival, rec.sender_pc,
+                        rec.arrival, rec.sender_pc, rec.checksum,
                     ),
                 )
         return recovered

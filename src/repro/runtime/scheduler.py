@@ -186,7 +186,17 @@ class CoopScheduler:
         for myp in sorted(self.waiting):
             proc = machine.procs[myp]
             tag, mc = self.waiting[myp]
-            woke = self._pump_mailbox(proc)
+            try:
+                woke = self._pump_mailbox(proc)
+            except BaseException as exc:  # noqa: BLE001 - surfaced by Machine.run
+                # a CorruptionError raised while accepting a delivery
+                # must land in the failures list exactly as it would
+                # from the threaded backend's recv loop
+                del self.waiting[myp]
+                self.failures.append((myp, exc))
+                machine.monitor.finish(myp, clean=False)
+                progressed = True
+                continue
             if tag in proc._stash:
                 del self.waiting[myp]
                 machine.monitor.unblock(myp)

@@ -55,8 +55,13 @@ Event kinds
 ``mc-hit``      marker: a multicast payload was consumed from the local
                 cache (no message, no cost)
 ``dup-drop``    marker: receiver-side dedup discarded a duplicate copy
+``corrupt-drop`` marker: receiver-side checksum verification discarded
+                a corrupted copy (ARQ transports; the sender times out
+                and retransmits)
 ``stall``       a fault-injected transient processor stall
 ``checkpoint``  one snapshot (spans the ``checkpoint_word_time`` charge)
+``snapshot-corrupt`` marker: rollback rejected a snapshot whose digest
+                no longer verified and fell back to an older cut
 ``crash``       marker: a fail-stop crash (from the supervision loop)
 ``restart``     one coordinated rollback on one processor (spans the
                 recovery jump: detection + restart penalty + reload)
@@ -82,7 +87,7 @@ __all__ = [
 #: event kinds whose *placement* depends on wall-clock mailbox timing
 #: (identical in content, not in attribution, across backends); excluded
 #: from the normalized cross-backend view by default.
-UNSTABLE_KINDS = frozenset({"dup-drop"})
+UNSTABLE_KINDS = frozenset({"dup-drop", "corrupt-drop"})
 
 #: machine-level events (collective reorganizations, run-level notes)
 #: are attributed to this pseudo-rank.
@@ -367,15 +372,20 @@ def match_messages(
     receiver consumes each tag occurrence in its own program order, so
     the k-th receive of a tag consumes the k-th delivered send of that
     tag.  Transmission attempts the network dropped outright
-    (``note == 'dropped'``) never match; a ``retransmit`` attempt can
-    (it is the delivery when the ARQ's first copy was lost).  Returns
-    (send, recv) pairs ordered by receive time; unmatched events are
-    simply absent (see :func:`~.analysis.unmatched_receives` for the
-    audit).
+    (``note == 'dropped'``) never match, and neither do corrupted
+    copies (``note == 'corrupted'``): they are delivered but the
+    receiver's checksum verification discards them, so they cannot be
+    the copy a receive consumed.  A ``retransmit`` attempt can match
+    (it is the delivery when the ARQ's first copy was lost or rotten).
+    Returns (send, recv) pairs ordered by receive time; unmatched
+    events are simply absent (see
+    :func:`~.analysis.unmatched_receives` for the audit).
     """
     sends: Dict[tuple, deque] = {}
     for ev in trace.events():
-        if ev.kind in ("send", "retransmit") and ev.note != "dropped":
+        if ev.kind in ("send", "retransmit") and ev.note not in (
+            "dropped", "corrupted"
+        ):
             sends.setdefault((ev.peer, repr(ev.tag)), deque()).append(ev)
     pairs: List[Tuple[TraceEvent, TraceEvent]] = []
     for ev in trace.events():

@@ -34,19 +34,46 @@ Determinism: fault decisions come from the :class:`~.faults.FaultPlan`
 hash stream, and recovery is simulated *synchronously in the sending
 processor's thread* (the plan tells us, reproducibly, which attempt
 succeeds), so results are identical across thread schedules.
+
+Silent-data-corruption tolerance (DESIGN.md §12): when a fault plan
+injects payload corruption, transports become **self-checking** --
+every message carries a BLAKE2b checksum of its payload, computed at
+send and verified at delivery:
+
+* the **reliable** transport treats a checksum mismatch exactly like a
+  drop: the receiver discards the corrupted copy *before* it can touch
+  the dedup state or the stash (and before the delivery log records
+  it), the sender -- which consults the same deterministic plan --
+  never sees an acknowledgement, waits out the RTO and retransmits,
+  all charged to the cost model;
+* the **direct** transport has no retransmission protocol, so a
+  verification failure surfaces as a structured
+  :class:`CorruptionError` carrying the receiving processor's
+  coordinates and the message's provenance (sender, tag, channel
+  ordinal);
+* the **unreliable** transport never checksums -- it exists to show
+  what the generated code's assumptions cost on raw hardware, and
+  silent corruption is precisely that demonstration.
+
+Checksums are computed only when the plan can corrupt (or when forced
+via ``Machine(checksums=True)``), and their model-time price is zero
+unless ``CostModel.checksum_word_time`` is set -- so the default path
+stays bit-identical to the pre-corruption-era goldens.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hashlib import blake2b
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .faults import FaultPlan
+from .faults import FaultPlan, flip_word
 from .trace import TraceEvent
 
 __all__ = [
+    "CorruptionError",
     "DirectTransport",
     "Envelope",
     "ReliableTransport",
@@ -54,7 +81,25 @@ __all__ = [
     "TransportError",
     "UnreliableTransport",
     "copy_payload",
+    "payload_checksum",
 ]
+
+#: test hook: when True, receivers (and the delivery log) skip payload
+#: checksum verification.  Exists so the chaos harness -- and the tests
+#: that prove it works -- can deliberately re-introduce the
+#: silent-corruption failure mode and demonstrate that the explorer
+#: finds it and shrinks it to a minimal reproducer.  Never set this in
+#: production code.
+_VERIFY_DISABLED = False
+
+
+def payload_checksum(payload) -> int:
+    """BLAKE2b checksum of a payload's IEEE-754 bit pattern.
+
+    Canonicalized through float64 so a list payload and its ndarray
+    copy hash identically (both cross the wire as words)."""
+    data = np.asarray(payload, dtype=np.float64).tobytes()
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
 
 
 def copy_payload(payload):
@@ -75,6 +120,28 @@ class TransportError(Exception):
     """A message could not be confirmed within the retry cap."""
 
 
+class CorruptionError(TransportError):
+    """A delivered payload failed checksum verification.
+
+    Raised by transports with no retransmission protocol (direct): the
+    corruption cannot be recovered, so it is surfaced as a structured
+    diagnostic instead of silently poisoning the arrays.  Carries the
+    receiving processor's coordinates and the message's provenance.
+    """
+
+    def __init__(self, receiver, src, tag, seq):
+        self.receiver = tuple(receiver)
+        self.src = tuple(src)
+        self.tag = tag
+        self.seq = seq
+        super().__init__(
+            f"processor {self.receiver}: payload from {self.src} "
+            f"tag={tag} (channel message #{seq}) failed checksum "
+            f"verification -- silent data corruption detected on a "
+            f"transport with no retransmission protocol"
+        )
+
+
 @dataclass
 class Envelope:
     """One physical copy of a message on the wire.
@@ -86,7 +153,10 @@ class Envelope:
     log uses it to decide, after a rollback, whether a restarted
     sender will re-send this message live (the send lies past the
     sender's snapshot) or whether the logged copy must be re-injected
-    (see :mod:`repro.runtime.checkpoint`).
+    (see :mod:`repro.runtime.checkpoint`).  ``checksum`` is the
+    BLAKE2b digest of the payload *as the sender computed it*; wire
+    corruption flips words after the digest is taken, which is exactly
+    how the receiver detects it.  ``None`` on unchecksummed paths.
     """
 
     src: Tuple[int, ...]
@@ -95,6 +165,13 @@ class Envelope:
     payload: List[float]
     arrival: float
     sender_pc: int = 0
+    checksum: Optional[int] = None
+
+    def verify(self) -> bool:
+        """True unless a present checksum fails to match the payload."""
+        if self.checksum is None or _VERIFY_DISABLED:
+            return True
+        return payload_checksum(self.payload) == self.checksum
 
 
 class Transport:
@@ -102,6 +179,17 @@ class Transport:
 
     #: printable name, used by the CLI and reports
     name = "abstract"
+
+    #: set by the machine when the fault plan can corrupt payloads (or
+    #: the user forces it): senders stamp a checksum on every envelope
+    #: and receivers verify it at delivery
+    checksummed = False
+
+    #: how a receiver must react to a checksum mismatch: transports
+    #: with a retransmission protocol discard the corrupted copy (the
+    #: sender will retry); protocol-free transports raise
+    #: :class:`CorruptionError`
+    corrupt_is_drop = False
 
     def send(self, proc, dest, tag, payload) -> None:
         raise NotImplementedError
@@ -111,13 +199,20 @@ class Transport:
 
     # -- shared helpers ------------------------------------------------------
 
-    @staticmethod
-    def _charge_startup(proc, payload) -> float:
+    def _charge_startup(self, proc, payload) -> float:
         cost = proc.machine.cost
         charge = cost.alpha + cost.beta * len(payload)
+        if self.checksummed:
+            charge += cost.checksum_word_time * len(payload)
         proc.clock += charge
         proc.stats.send_time += charge
         return charge
+
+    def _checksum(self, payload) -> Optional[int]:
+        """Digest stamped on outgoing envelopes (None when disabled)."""
+        if not self.checksummed:
+            return None
+        return payload_checksum(payload)
 
     @staticmethod
     def _count(proc, payload) -> None:
@@ -152,23 +247,53 @@ class Transport:
 
 
 class DirectTransport(Transport):
-    """The iPSC assumption: exactly-once, in-order, never fails."""
+    """The iPSC assumption: exactly-once, in-order, never fails.
+
+    A corruption-capable fault plan can still flip words on the wire;
+    with no retransmission protocol the receiver's verification raises
+    :class:`CorruptionError` (or, unchecksummed, the flip is silent).
+    """
 
     name = "direct"
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan
+
+    def _wire_copy(self, proc, dest, payload):
+        """Copy the payload onto the wire, maybe corrupting it.
+
+        Returns ``(copy, seq, note)``.  The channel ordinal ``seq`` is
+        consumed from the same per-(src, dest) counter the reliable
+        transport uses, so corruption schedules written as
+        ``(src, dst, seq)`` name the same logical message on either
+        transport; it is only consumed when corruption is armed so the
+        fault-free path stays bit-identical to the historical one.
+        """
+        wire = copy_payload(payload)
+        plan = self.plan
+        if plan is None or not plan.any_corruption_faults:
+            return wire, None, ""
+        seq = proc.next_seq(dest)
+        if not plan.corrupts(proc.myp, dest, seq, 0):
+            return wire, seq, ""
+        flip_word(wire, plan.corrupt_word(len(wire), proc.myp, dest, seq, 0))
+        proc.stats.corruptions_injected += 1
+        return wire, seq, "corrupted"
 
     def send(self, proc, dest, tag, payload) -> None:
         machine = proc.machine
         start = proc.clock
         self._charge_startup(proc, payload)
         self._count(proc, payload)
+        checksum = self._checksum(payload)
+        wire, seq, note = self._wire_copy(proc, dest, payload)
         arrival = proc.clock + machine.cost.latency
         machine.deliver(
             dest,
-            Envelope(proc.myp, None, tag, copy_payload(payload), arrival,
-                     proc._pc),
+            Envelope(proc.myp, seq, tag, wire, arrival, proc._pc, checksum),
         )
         machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
-        self._trace_send(proc, dest, tag, payload, start)
+        self._trace_send(proc, dest, tag, payload, start, seq=seq, note=note)
 
     def multicast(self, proc, dests, tag, payload) -> None:
         if not dests:
@@ -178,17 +303,19 @@ class DirectTransport(Transport):
         self._charge_startup(proc, payload)
         proc.stats.multicasts += 1
         self._trace_multicast(proc, dests, tag, payload, start)
+        checksum = self._checksum(payload)
         for dest in dests:
             self._count(proc, payload)
+            wire, seq, note = self._wire_copy(proc, dest, payload)
             arrival = proc.clock + machine.cost.latency
             machine.deliver(
                 dest,
-                Envelope(proc.myp, None, tag, copy_payload(payload), arrival,
-                         proc._pc),
+                Envelope(proc.myp, seq, tag, wire, arrival, proc._pc,
+                         checksum),
             )
             machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
-            self._trace_send(proc, dest, tag, payload, proc.clock,
-                             note="multicast")
+            self._trace_send(proc, dest, tag, payload, proc.clock, seq=seq,
+                             note=note or "multicast")
 
 
 class UnreliableTransport(Transport):
@@ -224,6 +351,16 @@ class UnreliableTransport(Transport):
             machine.monitor.record_send(proc.myp, dest, tag, delivered=False)
             self._trace_send(proc, dest, tag, payload, start, note="dropped")
             return
+        if plan.any_corruption_faults:
+            # no checksum, no protocol: the flip is silent -- this
+            # transport exists to demonstrate exactly that failure mode
+            seq = proc.next_seq(dest)
+            if plan.corrupts(proc.myp, dest, seq, 0):
+                flip_word(
+                    payload,
+                    plan.corrupt_word(len(payload), proc.myp, dest, seq, 0),
+                )
+                proc.stats.corruptions_injected += 1
         delay = plan.delay(proc.myp, dest, tag, 0)
         arrival = proc.clock + machine.cost.latency + delay
         machine.deliver(
@@ -247,15 +384,36 @@ class UnreliableTransport(Transport):
 class ReliableTransport(Transport):
     """Stop-and-wait ARQ over an (optionally) faulty network.
 
-    ``rto`` is the initial retransmission timeout in model-time units;
+    ``rto`` is the base retransmission timeout in model-time units;
     when ``None`` it is derived from the machine's cost model as one
     full round trip (``2*latency + recv_overhead + alpha``).  Each
     failed attempt stalls the sender by the current RTO and doubles it
     (``backoff``); after ``max_retries`` retransmissions without an
     acknowledged delivery the sender raises :class:`TransportError`.
+
+    The timer is **adaptive per channel** (``adaptive=True``, the
+    default): each (sender, destination) pair remembers its last RTO.
+    A message that needed retransmissions leaves the channel's timer
+    inflated, so the next message on a congested/lossy channel does
+    not burn the full exponential ramp again; a clean first-attempt
+    acknowledgement decays the timer halfway back toward the base.
+    The timer never exceeds ``base * backoff**max_retries`` -- the
+    value the fixed scheme would have reached at the retry cap -- and
+    never falls below the base, and every wait is charged to the cost
+    model and traced as a ``timeout`` event, so the makespan
+    decomposition stays exhaustive.  The per-channel state lives on
+    the sending processor and is checkpointed with it, keeping
+    post-recovery timing bit-reproducible.
+
+    A corruption-capable plan flips words *after* the checksum is
+    stamped; the receiver discards the corrupted copy before it can
+    touch dedup state (see ``Processor._recv_accept``), so from this
+    sender's point of view a corrupted attempt is exactly a drop: no
+    acknowledgement, wait out the RTO, retransmit.
     """
 
     name = "reliable"
+    corrupt_is_drop = True
 
     def __init__(
         self,
@@ -263,11 +421,13 @@ class ReliableTransport(Transport):
         max_retries: int = 10,
         rto: Optional[float] = None,
         backoff: float = 2.0,
+        adaptive: bool = True,
     ):
         self.plan = plan
         self.max_retries = max_retries
         self.rto = rto
         self.backoff = backoff
+        self.adaptive = adaptive
 
     def send(self, proc, dest, tag, payload) -> None:
         start = proc.clock
@@ -297,7 +457,14 @@ class ReliableTransport(Transport):
         cost, monitor = machine.cost, machine.monitor
         trace = machine.trace
         seq = proc.next_seq(dest)
-        rto = self._initial_rto(cost)
+        checksum = self._checksum(payload)
+        base = self._initial_rto(cost)
+        cap = base * self.backoff ** self.max_retries
+        dkey = tuple(dest)
+        if self.adaptive:
+            rto = min(proc._arq_rto.get(dkey, base), cap)
+        else:
+            rto = base
         delivered_once = False
         for attempt in range(self.max_retries + 1):
             if attempt:
@@ -310,7 +477,16 @@ class ReliableTransport(Transport):
             dropped = plan is not None and plan.drops(
                 proc.myp, dest, tag, attempt
             )
-            attempt_note = "dropped" if dropped else note
+            corrupted = (
+                not dropped
+                and plan is not None
+                and plan.corrupts(proc.myp, dest, seq, attempt)
+            )
+            attempt_note = (
+                "dropped" if dropped
+                else "corrupted" if corrupted
+                else note
+            )
             if trace is not None:
                 trace.emit(TraceEvent(
                     kind="send" if attempt == 0 else "retransmit",
@@ -324,37 +500,60 @@ class ReliableTransport(Transport):
                     plan.delay(proc.myp, dest, tag, attempt) if plan else 0.0
                 )
                 arrival = proc.clock + cost.latency + delay
+                wire = copy_payload(payload)
+                if corrupted:
+                    # the flip happens on the wire, after the checksum
+                    # was stamped: the receiver's verification fails,
+                    # the copy is discarded before it can touch dedup
+                    # state, no acknowledgement comes back, and this
+                    # sender falls through to the timeout below --
+                    # exactly the drop recovery path
+                    flip_word(wire, plan.corrupt_word(
+                        len(wire), proc.myp, dest, seq, attempt
+                    ))
+                    proc.stats.corruptions_injected += 1
                 machine.deliver(
                     dest,
-                    Envelope(proc.myp, seq, tag, copy_payload(payload),
-                             arrival, proc._pc),
+                    Envelope(proc.myp, seq, tag, wire, arrival, proc._pc,
+                             checksum),
                 )
-                delivered_once = True
-                if plan is not None and plan.duplicates(
-                    proc.myp, dest, tag, attempt
-                ):
-                    proc.stats.duplicates_sent += 1
-                    machine.deliver(
-                        dest,
-                        Envelope(
-                            proc.myp, seq, tag, copy_payload(payload),
-                            arrival + cost.latency, proc._pc,
-                        ),
+                if not corrupted:
+                    delivered_once = True
+                    if plan is not None and plan.duplicates(
+                        proc.myp, dest, tag, attempt
+                    ):
+                        proc.stats.duplicates_sent += 1
+                        machine.deliver(
+                            dest,
+                            Envelope(
+                                proc.myp, seq, tag, copy_payload(payload),
+                                arrival + cost.latency, proc._pc, checksum,
+                            ),
+                        )
+                    ack_lost = plan is not None and plan.drops_ack(
+                        proc.myp, dest, tag, attempt
                     )
-                ack_lost = plan is not None and plan.drops_ack(
-                    proc.myp, dest, tag, attempt
-                )
-                if not ack_lost:
-                    monitor.record_send(proc.myp, dest, tag, delivered=True)
-                    return
-                proc.stats.acks_lost += 1
-                if trace is not None:
-                    trace.emit(TraceEvent(
-                        kind="ack-lost", rank=proc.myp, start=proc.clock,
-                        end=proc.clock, tag=tag, peer=tuple(dest),
-                        attempt=attempt, seq=seq,
-                        incarnation=proc._incarnation,
-                    ))
+                    if not ack_lost:
+                        monitor.record_send(
+                            proc.myp, dest, tag, delivered=True
+                        )
+                        if self.adaptive:
+                            # clean first try decays the channel timer
+                            # toward base; a recovered message leaves
+                            # it at the level that finally worked
+                            if attempt == 0:
+                                proc._arq_rto[dkey] = max(base, rto * 0.5)
+                            else:
+                                proc._arq_rto[dkey] = min(cap, rto)
+                        return
+                    proc.stats.acks_lost += 1
+                    if trace is not None:
+                        trace.emit(TraceEvent(
+                            kind="ack-lost", rank=proc.myp, start=proc.clock,
+                            end=proc.clock, tag=tag, peer=tuple(dest),
+                            attempt=attempt, seq=seq,
+                            incarnation=proc._incarnation,
+                        ))
             # wait out the retransmission timer before trying again
             timeout_start = proc.clock
             proc.clock += rto
@@ -366,7 +565,9 @@ class ReliableTransport(Transport):
                     attempt=attempt, seq=seq,
                     incarnation=proc._incarnation,
                 ))
-            rto *= self.backoff
+            rto = min(rto * self.backoff, cap)
+        if self.adaptive:
+            proc._arq_rto[dkey] = cap
         monitor.record_send(proc.myp, dest, tag, delivered=delivered_once)
         raise TransportError(
             f"processor {proc.myp} -> {dest} tag={tag}: no acknowledged "

@@ -35,6 +35,7 @@ def run_spmd(
     max_restarts: int = 3,
     backend: str = "threads",
     trace=None,
+    checksums: Optional[bool] = None,
 ) -> RunResult:
     """Execute a generated SPMD program on the simulator.
 
@@ -47,6 +48,8 @@ def run_spmd(
     ``trace=True`` (or a caller-owned
     :class:`~.trace.TraceBuffer`) records the typed event trace on
     ``RunResult.trace``; off by default and observably free.
+    ``checksums`` forces self-checking transports on/off (``None`` =
+    auto: on exactly when the plan can corrupt payloads/snapshots).
     Defaults keep the historical zero-overhead direct channel.
     """
     machine = Machine(
@@ -62,6 +65,7 @@ def run_spmd(
         max_restarts=max_restarts,
         backend=backend,
         trace=trace,
+        checksums=checksums,
     )
     return machine.run(spmd.node, initial_data=initial_data, seed=seed)
 
@@ -83,6 +87,7 @@ def check_against_sequential(
     max_restarts: int = 3,
     backend: str = "threads",
     trace=None,
+    checksums: Optional[bool] = None,
 ) -> RunResult:
     """Run and assert correctness; returns the RunResult on success.
 
@@ -112,6 +117,7 @@ def check_against_sequential(
         max_restarts=max_restarts,
         backend=backend,
         trace=trace,
+        checksums=checksums,
     )
     writers = live_out_writes(program, params)
     space = spmd.space

@@ -1,0 +1,279 @@
+"""Silent-data-corruption tolerance (ISSUE 6 acceptance).
+
+Four guarantees under test:
+
+* **Recovery**: with payload corruption injected, the self-checking
+  reliable transport delivers final arrays *bit-identical* to the
+  fault-free oracle on every conformance workload, backend and
+  vectorization mode -- and the PR 5 trace invariants still hold.
+* **Detection**: on the direct transport (no retransmission protocol)
+  corruption surfaces as a structured :class:`CorruptionError` naming
+  the same channel message on both backends.
+* **Checkpoint integrity**: corrupted snapshots are rejected by digest
+  at restore and recovery falls back to the last valid cut.
+* **Zero overhead**: with no corruption injected, checksummed runs are
+  bit-identical to unchecksummed ones; checksum time appears exactly
+  when the cost model prices it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import SPMDOptions
+from repro.runtime import (
+    CheckpointPolicy,
+    CorruptionError,
+    CostModel,
+    FaultPlan,
+    Machine,
+    ReliableTransport,
+    run_spmd,
+)
+from repro.runtime.analysis import Decomposition, comm_matrix, unmatched_receives
+
+from .trace_workloads import COMBOS, WORKLOADS
+
+BACKENDS = ("threads", "coop")
+
+
+def assert_same_arrays(got, want, label):
+    assert set(got.arrays) == set(want.arrays), label
+    for myp, arrays in want.arrays.items():
+        for name, arr in arrays.items():
+            assert np.array_equal(
+                got.arrays[myp][name], arr, equal_nan=True
+            ), f"{label}: array {name} differs on {myp}"
+
+
+def assert_invariants(result, label):
+    """The fault-compatible PR 5 trace invariants."""
+    trace = result.trace
+    for myp, stats in result.stats.items():
+        deco = Decomposition.from_stats(stats)
+        assert deco.total() == result.clocks[myp], label
+        if result.restarts == 0:
+            assert Decomposition.from_trace(trace, myp) == deco, label
+    matrix = comm_matrix(trace)
+    assert matrix.total_messages == result.total_messages, label
+    assert matrix.total_words == result.total_words, label
+    for myp, stats in result.stats.items():
+        sent = matrix.sent_by(myp)
+        assert sent.messages == stats.messages_sent, label
+        assert sent.words == stats.words_sent, label
+        assert sent.retransmissions == stats.retransmissions, label
+    assert unmatched_receives(trace) == [], label
+
+
+class TestCorruptionRecovery:
+    """Reliable transport + checksums: corruption is invisible in the
+    final answer, on every workload, backend and vectorization mode."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_arrays_bit_identical_to_fault_free_oracle(self, name):
+        build, params = WORKLOADS[name]
+        plan = FaultPlan(seed=1, corrupt_rate=0.4)
+        injected = 0
+        messages = 0
+        for vec, backend in COMBOS:
+            spmd = build(SPMDOptions(vectorize=vec))
+            oracle = run_spmd(spmd, params, backend=backend)
+            messages += oracle.total_messages
+            label = f"{name} vectorize={vec} backend={backend}"
+            result = run_spmd(
+                spmd, params, backend=backend, fault_plan=plan, trace=True
+            )
+            assert_same_arrays(result, oracle, label)
+            assert_invariants(result, label)
+            injected += result.stat_sum("corruptions_injected")
+            # every corrupted copy was caught (discarded, then the
+            # clean retransmission got through)
+            assert result.stat_sum("corrupt_dropped") == result.stat_sum(
+                "corruptions_injected"
+            ), label
+        if messages:
+            assert injected > 0, f"{name}: fault plan never fired"
+
+    def test_backends_bit_identical_under_corruption(self):
+        build, params = WORKLOADS["pipe"]
+        plan = FaultPlan(seed=7, corrupt_rate=0.3)
+        spmd = build(SPMDOptions())
+        runs = {
+            backend: run_spmd(
+                spmd, params, backend=backend, fault_plan=plan
+            )
+            for backend in BACKENDS
+        }
+        a, b = runs["threads"], runs["coop"]
+        assert a.makespan == b.makespan
+        assert a.clocks == b.clocks
+        assert a.stats == b.stats
+        assert_same_arrays(a, b, "threads vs coop")
+
+
+class TestCorruptionDetection:
+    """Direct transport: detected, structured, deterministic."""
+
+    def test_direct_raises_structured_error_on_both_backends(self):
+        build, params = WORKLOADS["fig2"]
+        spmd = build(SPMDOptions())
+        plan = FaultPlan(corruptions={((1,), (2,), 0): 0})
+        errors = []
+        for backend in BACKENDS:
+            with pytest.raises(CorruptionError) as info:
+                run_spmd(
+                    spmd, params, backend=backend, fault_plan=plan,
+                    reliability="direct",
+                )
+            errors.append(info.value)
+        for err in errors:
+            assert err.src == (1,)
+            assert err.receiver == (2,)
+            assert err.seq == 0
+        assert str(errors[0]) == str(errors[1])
+
+    def test_unreliable_transport_stays_silent(self):
+        """The unreliable transport demonstrates the failure mode:
+        corruption is injected but nothing detects it."""
+        build, params = WORKLOADS["fig2"]
+        spmd = build(SPMDOptions())
+        plan = FaultPlan(seed=3, corrupt_rate=0.5)
+        result = run_spmd(
+            spmd, params, fault_plan=plan, reliability="unreliable"
+        )
+        assert result.stat_sum("corruptions_injected") > 0
+        assert result.stat_sum("corrupt_dropped") == 0
+
+
+_SWEEP = {}
+
+
+def _sweep_case(name):
+    if name not in _SWEEP:
+        build, params = WORKLOADS[name]
+        spmd = build(SPMDOptions())
+        _SWEEP[name] = (spmd, params, run_spmd(spmd, params, backend="coop"))
+    return _SWEEP[name]
+
+
+class TestCorruptionSweep:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        name=st.sampled_from(["fig2", "lu", "pipe"]),
+        seed=st.integers(min_value=0, max_value=10_000),
+        rate=st.sampled_from([0.02, 0.1, 0.3]),
+    )
+    def test_any_seed_any_rate_recovers_exactly(self, name, seed, rate):
+        spmd, params, oracle = _sweep_case(name)
+        plan = FaultPlan(seed=seed, corrupt_rate=rate)
+        result = run_spmd(spmd, params, backend="coop", fault_plan=plan)
+        assert_same_arrays(result, oracle, f"{name} seed={seed} rate={rate}")
+
+
+class TestCheckpointDigests:
+    def test_corrupted_snapshots_rejected_and_recovery_falls_back(self):
+        build, params = WORKLOADS["fig2"]
+        spmd = build(SPMDOptions())
+        oracle = run_spmd(spmd, params)
+        # every post-baseline snapshot is corrupted at rest, so the
+        # crash must recover from the baseline cut (ordinal 0, which
+        # the injector never touches)
+        plan = FaultPlan(
+            crashes={(1,): 1500.0}, checkpoint_corrupt_rate=1.0
+        )
+        result = run_spmd(
+            spmd,
+            params,
+            fault_plan=plan,
+            checkpoint=CheckpointPolicy(every_ops=4),
+            max_restarts=5,
+        )
+        assert result.restarts >= 1
+        assert result.snapshots_rejected >= 1
+        assert_same_arrays(result, oracle, "checkpoint fallback")
+
+    def test_clean_snapshots_verify(self):
+        build, params = WORKLOADS["fig2"]
+        spmd = build(SPMDOptions())
+        plan = FaultPlan(crashes={(1,): 1500.0}, corrupt_rate=0.1)
+        result = run_spmd(
+            spmd,
+            params,
+            fault_plan=plan,
+            checkpoint=CheckpointPolicy(every_ops=4),
+            max_restarts=5,
+        )
+        assert result.restarts >= 1
+        assert result.snapshots_rejected == 0
+
+
+class TestZeroOverhead:
+    def test_checksums_free_without_corruption(self):
+        for name in ("fig2", "lu"):
+            build, params = WORKLOADS[name]
+            spmd = build(SPMDOptions())
+            off = run_spmd(spmd, params, trace=True)
+            on = run_spmd(spmd, params, trace=True, checksums=True)
+            assert on.makespan == off.makespan, name
+            assert on.clocks == off.clocks, name
+            assert on.stats == off.stats, name
+            assert on.trace.normalized() == off.trace.normalized(), name
+            assert_same_arrays(on, off, name)
+
+    def test_checksum_time_appears_only_when_priced(self):
+        build, params = WORKLOADS["fig2"]
+        spmd = build(SPMDOptions())
+        cost = CostModel(checksum_word_time=5.0)
+        off = run_spmd(spmd, params, cost=cost)
+        on = run_spmd(spmd, params, cost=cost, checksums=True)
+        assert on.makespan > off.makespan
+        assert_same_arrays(on, off, "priced checksums")
+
+    def test_auto_enables_exactly_with_corruption_faults(self):
+        assert not FaultPlan(seed=1, drop_rate=0.2).any_corruption_faults
+        assert FaultPlan(seed=1, corrupt_rate=0.1).any_corruption_faults
+        assert FaultPlan(
+            corruptions={((0,), (1,), 0): 0}
+        ).any_corruption_faults
+        plan = FaultPlan(checkpoint_corrupt_rate=0.5)
+        assert not plan.any_corruption_faults
+        assert plan.any_checkpoint_corruption
+        # checkpoint-only corruption must not force the ARQ transport
+        assert not plan.any_network_faults
+
+
+class TestAdaptiveRto:
+    def _run(self, adaptive):
+        build, params = WORKLOADS["fig2"]
+        spmd = build(SPMDOptions())
+        plan = FaultPlan(seed=5, ack_drop_rate=0.6)
+        machine = Machine(
+            spmd.program,
+            spmd.space,
+            params,
+            fault_plan=plan,
+            transport=ReliableTransport(plan, adaptive=adaptive),
+        )
+        return machine, machine.run(spmd.node)
+
+    def test_both_modes_recover_exactly(self):
+        build, params = WORKLOADS["fig2"]
+        spmd = build(SPMDOptions())
+        oracle = run_spmd(spmd, params)
+        for adaptive in (False, True):
+            machine, result = self._run(adaptive)
+            assert result.stat_sum("retransmissions") > 0
+            assert_same_arrays(result, oracle, f"adaptive={adaptive}")
+
+    def test_rto_state_is_per_channel_and_only_when_adaptive(self):
+        machine, _result = self._run(adaptive=False)
+        assert all(not p._arq_rto for p in machine.procs.values())
+        machine, _result = self._run(adaptive=True)
+        # channels that timed out remember an inflated RTO
+        inflated = [
+            rto
+            for proc in machine.procs.values()
+            for rto in proc._arq_rto.values()
+        ]
+        assert inflated, "adaptive run never recorded channel state"

@@ -175,3 +175,84 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "retransmit" in out
         assert out_file.exists()
+
+
+class TestCorruptionCLI:
+    def test_run_with_corruption_recovers(self, program_file, capsys):
+        assert (
+            main(
+                ["run", program_file, "--block", "i=16",
+                 "-D", "N=70", "-D", "T=2", "-D", "P=3",
+                 "--corrupt-rate", "0.4", "--fault-seed", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "validated against sequential execution: OK" in out
+        assert "integrity:" in out
+        assert "discarded by checksum" in out
+
+    def test_run_corrupt_at_direct_fails_structurally(self, program_file,
+                                                      capsys):
+        assert (
+            main(
+                ["run", program_file, "--block", "i=16",
+                 "-D", "N=70", "-D", "T=2", "-D", "P=3",
+                 "--corrupt-at", "1>2:0", "--reliability", "direct"]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "run FAILED: CorruptionError" in out
+        assert "failed checksum verification" in out
+
+    @pytest.mark.parametrize("flags", [
+        ["--max-delay", "-1"],
+        ["--stall-time", "-5"],
+        ["--checkpoint-interval", "0"],
+        ["--checkpoint-every-ops", "0"],
+        ["--max-retries", "-1"],
+        ["--max-restarts", "-2"],
+        ["--corrupt-rate", "1.5"],
+        ["--corrupt-at", "nonsense"],
+        ["--checkpoint-corrupt-rate", "-0.1"],
+        ["--checkpoint-corrupt-at", "0"],
+        ["--crash-at", "zero@"],
+    ])
+    def test_invalid_knob_values_rejected_at_parse(self, program_file,
+                                                   flags):
+        with pytest.raises(SystemExit) as info:
+            main(["run", program_file, "--block", "i=16",
+                  "-D", "N=70", "-D", "T=1", "-D", "P=3"] + flags)
+        assert info.value.code == 2
+
+
+class TestChaosCLI:
+    def test_clean_exploration_exits_zero(self, capsys):
+        assert (
+            main(
+                ["chaos", "--workload", "fig2", "--backend", "coop",
+                 "--seeds", "1", "--no-targeted"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_injected_bug_found_written_and_replayed(self, tmp_path,
+                                                     capsys):
+        out_dir = tmp_path / "repros"
+        assert (
+            main(
+                ["chaos", "--workload", "fig2", "--backend", "threads",
+                 "--seeds", "0", "--inject-bug", "--out", str(out_dir)]
+            )
+            == 3
+        )
+        out = capsys.readouterr().out
+        assert "FINDING" in out
+        written = sorted(out_dir.glob("chaos-*.json"))
+        assert written
+        assert main(["chaos", "--replay", str(written[0])]) == 0
+        out = capsys.readouterr().out
+        assert "replays deterministically" in out
