@@ -1,0 +1,208 @@
+"""Simulator throughput at scale: P=256 and P=1024 (ISSUE 7).
+
+Three measurements, all recorded in the ``events_per_sec`` section of
+``BENCH_runtime.json``:
+
+* **Compiled sweeps** -- fig2 and the stencil at P=256 (coop + event,
+  asserted bit-identical) and at P=1024.  These are compute-pipelined
+  workloads whose dependences flow *with* the scheduler's rank order,
+  so every rank runs start-to-finish in one wake and both backends are
+  bound by node-program execution; the event backend must simply never
+  be slower.  A P=1024 stencil completing here is an acceptance
+  criterion for the discrete-event engine.
+* **Scheduler stress** (the regression guard) -- a reverse token ring:
+  a single token circulates from high ranks to low ranks, so at any
+  moment one rank is runnable and P-1 are parked.  The cooperative
+  scheduler pays an O(P) drain poll per wake (its dense loop has no
+  idea which rank the delivery landed on); the event backend's
+  delivery watcher wakes exactly the flagged rank.  This is the "idle
+  ranks cost zero cycles" claim, and the guard fails the build if the
+  event backend is < 5x coop events/sec at P=256.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro import block_loop, parse
+from repro.codegen import SPMDOptions
+from repro.runtime import run_spmd
+from repro.runtime.machine import Machine
+from workloads import IPSC, fig2_compiled, stencil_compiled
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_runtime.json"
+)
+
+#: compiled sweeps: (workload, builder, N, T, P, backends)
+SWEEPS = (
+    ("fig2", fig2_compiled, 2048, 3, 256, ("coop", "event")),
+    ("stencil", stencil_compiled, 2048, 6, 256, ("coop", "event")),
+    ("fig2", fig2_compiled, 4096, 2, 1024, ("event",)),
+    ("stencil", stencil_compiled, 4096, 4, 1024, ("event",)),
+)
+
+RING_LAPS = 20
+GUARD_P = 256
+GUARD_FLOOR = 5.0
+
+RING_SRC = """
+array X[N + 1]
+assume N >= 3
+assume T >= 0
+for t = 0 to T do
+  for i = 3 to N do
+    X[i] = X[i - 3]
+"""
+
+
+def _assert_identical(label, base, result):
+    assert result.makespan == base.makespan, label
+    assert result.stats == base.stats, label
+    for myp in base.arrays:
+        for name in base.arrays[myp]:
+            assert np.array_equal(
+                result.arrays[myp][name], base.arrays[myp][name],
+                equal_nan=True,
+            ), f"{label}: array {name} differs on {myp}"
+
+
+def _row(workload, p, backend, result):
+    return {
+        "workload": workload,
+        "P": p,
+        "backend": backend,
+        "wall_seconds": result.wall_seconds,
+        "sim_events": result.sim_events,
+        "events_per_sec": result.events_per_sec,
+        "sched_wakeups": result.sched_wakeups,
+    }
+
+
+def compiled_sweep():
+    rows = []
+    for wname, build, n, t, p, backends in SWEEPS:
+        _prog, _comps, spmd = build(
+            n=n, p=p, options=SPMDOptions(vectorize=True)
+        )
+        params = {"N": n, "T": t, "P": p}
+        base = None
+        for backend in backends:
+            result = run_spmd(
+                spmd, params, cost=IPSC, timeout=600.0, backend=backend
+            )
+            if base is None:
+                base = result
+            else:
+                _assert_identical(f"{wname} P={p} {backend}", base, result)
+            rows.append(_row(wname, p, backend, result))
+    return rows
+
+
+def _ring_machine(p, backend):
+    prog = parse(RING_SRC)
+    stmt = prog.statements()[0]
+    comp = block_loop(stmt, ["i"], [32])
+    return Machine(
+        prog, comp.space, {"N": 32 * p - 1, "T": 0, "P": p},
+        timeout=120.0, backend=backend,
+    )
+
+
+def ring_node(proc):
+    """A token circulates high rank -> low rank, RING_LAPS times.
+
+    Exactly one rank is runnable at any moment; all others are parked
+    in recv.  Pure scheduler stress: the node programs do no compute.
+    """
+    nprocs = len(proc.machine.procs)
+    p = proc.myp[0]
+    nxt = ((p - 1) % nprocs,)
+    prev = (p + 1) % nprocs
+    for lap in range(RING_LAPS):
+        if p == nprocs - 1:
+            if lap:
+                yield ("recv", (0,), ("tok", lap - 1, 0))
+            proc.send(nxt, ("tok", lap, p), [float(lap)])
+        else:
+            yield ("recv", (prev,), ("tok", lap, prev))
+            if p > 0 or lap < RING_LAPS - 1:
+                proc.send(nxt, ("tok", lap, p), [float(lap)])
+
+
+def ring_sweep():
+    rows = []
+    for backend in ("coop", "event"):
+        machine = _ring_machine(GUARD_P, backend)
+        result = machine.run(ring_node)
+        rows.append(_row("ring", GUARD_P, backend, result))
+    return rows
+
+
+def _merge_into_bench_json(section):
+    """Read-modify-write: preserve sections other benches own."""
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as fh:
+            data = json.load(fh)
+    data["events_per_sec"] = section
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+
+
+def test_sim_throughput(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: compiled_sweep() + ring_sweep(), rounds=1, iterations=1
+    )
+
+    report("Simulator throughput at scale (event vs coop backends)")
+    report(
+        f"{'workload':>8} {'P':>5} {'backend':>7} {'wall':>8} "
+        f"{'events':>9} {'events/s':>12} {'wakeups':>8}"
+    )
+    for row in rows:
+        report(
+            f"{row['workload']:>8} {row['P']:>5} {row['backend']:>7} "
+            f"{row['wall_seconds']:>7.3f}s {row['sim_events']:>9} "
+            f"{row['events_per_sec']:>12,.0f} {row['sched_wakeups']:>8}"
+        )
+
+    by = {(r["workload"], r["P"], r["backend"]): r for r in rows}
+    ring_coop = by[("ring", GUARD_P, "coop")]["events_per_sec"]
+    ring_event = by[("ring", GUARD_P, "event")]["events_per_sec"]
+    ratio = ring_event / ring_coop
+    report("")
+    report(
+        f"scheduler-stress guard (reverse token ring, P={GUARD_P}): "
+        f"event/coop = {ratio:.1f}x (floor: {GUARD_FLOOR:.0f}x)"
+    )
+
+    _merge_into_bench_json(
+        {
+            "rows": rows,
+            "guard": {
+                "workload": "ring",
+                "P": GUARD_P,
+                "event_over_coop": ratio,
+                "floor": GUARD_FLOOR,
+            },
+        }
+    )
+
+    # acceptance: P=1024 runs completed (we got rows for them at all)
+    assert ("stencil", 1024, "event") in by
+    assert ("fig2", 1024, "event") in by
+    # regression guard: the event engine must keep its scheduling edge
+    assert ratio >= GUARD_FLOOR, (
+        f"event backend only {ratio:.1f}x coop events/sec on the "
+        f"P={GUARD_P} scheduler-stress ring (floor {GUARD_FLOOR:.0f}x)"
+    )
+    # and must never be slower on the compute-bound compiled sweeps
+    for wname in ("fig2", "stencil"):
+        coop = by[(wname, 256, "coop")]["events_per_sec"]
+        event = by[(wname, 256, "event")]["events_per_sec"]
+        assert event >= 0.8 * coop, (
+            f"{wname} P=256: event backend regressed below coop "
+            f"({event:,.0f} vs {coop:,.0f} events/sec)"
+        )

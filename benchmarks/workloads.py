@@ -64,7 +64,24 @@ IPSC = CostModel(
 )
 
 
-def fig2_compiled(block_size=32, options=None):
+def block_for(lo, hi, p):
+    """Smallest block size tiling iterations ``lo..hi`` over ``p`` ranks.
+
+    Sizing the block from the iteration span (instead of hard-coding 32)
+    lets every builder below scale to arbitrary ``P``: with
+    ``block_for(0, n, p)`` all ``p`` ranks own at least one block and no
+    rank owns more than one block more than any other.
+    """
+    span = hi - lo + 1
+    return max(1, -(-span // p))
+
+
+def fig2_compiled(block_size=32, options=None, n=None, p=None):
+    """Figure 2 pipeline.  Pass ``n``/``p`` to size blocks for any P."""
+    if p is not None:
+        if n is None:
+            raise ValueError("fig2_compiled: p= requires n=")
+        block_size = block_for(0, n, p)
     program = parse(FIG2_SRC, name="figure2")
     stmt = program.statements()[0]
     comp = block_loop(stmt, ["i"], [block_size])
@@ -81,8 +98,15 @@ def lu_compiled(options=None):
     return program, comps, generate_spmd(program, comps, options=options)
 
 
-def stencil_compiled(block_size=32, options=None):
-    """Time-iterated 3-point relaxation (Section 2.2.1), block layout."""
+def stencil_compiled(block_size=32, options=None, n=None, p=None):
+    """Time-iterated 3-point relaxation (Section 2.2.1), block layout.
+
+    Pass ``n``/``p`` to size blocks so the stencil spreads over any P.
+    """
+    if p is not None:
+        if n is None:
+            raise ValueError("stencil_compiled: p= requires n=")
+        block_size = block_for(0, n + 1, p)
     program = parse(STENCIL_SRC, name="stencil")
     stmt = program.statements()[0]
     comp = block_loop(stmt, ["i"], [block_size])

@@ -284,6 +284,18 @@ def cmd_run(args) -> int:
     print(f"messages:  {result.total_messages}")
     print(f"words:     {result.total_words}")
     print(f"makespan:  {result.makespan:.0f} time units")
+    if result.wall_seconds > 0:
+        line = (
+            f"sim rate:  {result.sim_events} events in "
+            f"{result.wall_seconds:.3f}s wall "
+            f"({result.events_per_sec:,.0f} events/sec)"
+        )
+        if result.sched_wakeups is not None:
+            nranks = max(1, len(result.clocks))
+            line += (
+                f", {result.sched_wakeups / nranks:.1f} wakeups/rank"
+            )
+        print(line)
     retrans = result.stat_sum("retransmissions")
     if plan is not None or retrans:
         print(
@@ -352,7 +364,9 @@ def cmd_chaos(args) -> int:
         print("NOT reproduced: the replay diverged from the recording")
         return 1
     workloads = list(dict.fromkeys(args.workload or sorted(chaos.WORKLOADS)))
-    backends = list(dict.fromkeys(args.backend or ["threads", "coop"]))
+    backends = list(
+        dict.fromkeys(args.backend or ["threads", "coop", "event"])
+    )
     saved = _transport._VERIFY_DISABLED
     if args.inject_bug:
         _transport._VERIFY_DISABLED = True
@@ -419,11 +433,13 @@ def main(argv=None) -> int:
         help="parameter values (N, T, P, ...)",
     )
     p_run.add_argument(
-        "--backend", choices=["threads", "coop"], default="threads",
+        "--backend", choices=["threads", "coop", "event"],
+        default="threads",
         help="execution engine: threads = one OS thread per simulated "
         "processor (default), coop = all processors as coroutines on "
         "one thread in deterministic virtual-time order (faster; same "
-        "results)",
+        "results), event = discrete-event heap scheduler that only "
+        "wakes runnable processors (fastest at large P; same results)",
     )
     p_run.add_argument(
         "--trace", metavar="FILE", default=None,
@@ -563,9 +579,10 @@ def main(argv=None) -> int:
         help="workload(s) to explore (repeatable; default: all five)",
     )
     p_chaos.add_argument(
-        "--backend", action="append", choices=["threads", "coop"],
+        "--backend", action="append",
+        choices=["threads", "coop", "event"],
         help="execution backend(s) to run under (repeatable; default: "
-        "both)",
+        "all three)",
     )
     p_chaos.add_argument(
         "--seeds", type=_nonneg_int, default=8, metavar="N",

@@ -57,7 +57,7 @@ from .chaos import (
     load_reproducer,
     replay_reproducer,
 )
-from .scheduler import CoopScheduler
+from .scheduler import CoopScheduler, EventScheduler
 from .trace import TraceBuffer, TraceEvent, match_messages
 from .transport import (
     CorruptionError,
@@ -80,6 +80,7 @@ __all__ = [
     "CommEdge",
     "CommMatrix",
     "CoopScheduler",
+    "EventScheduler",
     "CorruptionError",
     "CostModel",
     "CriticalPath",

@@ -406,6 +406,17 @@ def summarize(result) -> str:
         + ", ".join(f"{k} {v}" for k, v in sorted(counts.items()))
         + ")"
     )
+    if getattr(result, "wall_seconds", 0) > 0:
+        throughput = (
+            f"throughput: {result.sim_events} simulated events, "
+            f"{result.events_per_sec:,.0f} events/sec"
+        )
+        if result.sched_wakeups is not None:
+            nranks = max(1, len(result.clocks))
+            throughput += (
+                f", {result.sched_wakeups / nranks:.1f} wakeups per rank"
+            )
+        lines.append(throughput)
     lines.append(comm_matrix(trace).format())
     lines.append("makespan decomposition:")
     for myp, deco in decompose(result).items():

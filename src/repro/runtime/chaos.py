@@ -580,7 +580,7 @@ def _make_reproducer(
 
 def explore(
     workloads: Sequence[str] = ("fig2",),
-    backends: Sequence[str] = ("threads", "coop"),
+    backends: Sequence[str] = ("threads", "coop", "event"),
     seeds: int = 8,
     corrupt_rate: float = 0.05,
     targeted: bool = True,

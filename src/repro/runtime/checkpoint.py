@@ -60,7 +60,7 @@ pc=0 baseline is never corrupted, so recovery always terminates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from hashlib import blake2b
 from typing import Dict, List, Optional, Tuple
 
@@ -245,7 +245,7 @@ class CheckpointStore:
         snap = Snapshot(
             pc=proc._pc,
             clock=proc.clock,
-            stats=replace(proc.stats),
+            stats=proc.stats.to_stats(),
             arrays=arrays,
             next_seq=dict(proc._next_seq),
             seen_seqs=set(proc._seen_seqs),

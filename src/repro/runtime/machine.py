@@ -44,7 +44,8 @@ import inspect
 import queue
 import threading
 import time
-from dataclasses import dataclass, field, replace as _dc_replace
+from collections import deque
+from dataclasses import dataclass, field, fields as _dc_fields
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -146,6 +147,131 @@ class ProcStats:
     checkpoint_time: float = 0.0
 
 
+#: ProcStats field names in declaration order -- the column order of
+#: :class:`StatsArray`
+_STAT_FIELDS: Tuple[str, ...] = tuple(f.name for f in _dc_fields(ProcStats))
+#: fields whose attribute API is integral (event counts); the rest are
+#: model-time accumulators
+_INT_STATS = frozenset(
+    f.name for f in _dc_fields(ProcStats) if isinstance(f.default, int)
+)
+
+
+class StatsArray:
+    """Array-of-struct backing store for every rank's statistics.
+
+    One ``(P, len(_STAT_FIELDS))`` float64 block per run replaces P
+    dataclass instances (DESIGN.md §13): cheap to allocate at P=1024
+    and trivially reducible by column.  Ranks access their row through
+    :class:`ProcStatsView`, which preserves the ``ProcStats`` attribute
+    API exactly -- counts stay exact because every counter fits
+    float64's 2**53 contiguous-integer range with astronomical margin.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, nranks: int):
+        self.data = np.zeros((nranks, len(_STAT_FIELDS)))
+
+    def view(self, row: int) -> "ProcStatsView":
+        return ProcStatsView(self.data[row])
+
+
+class ProcStatsView:
+    """One rank's statistics: a view into a :class:`StatsArray` row
+    (or a standalone row), attribute-compatible with ``ProcStats``."""
+
+    __slots__ = ("_row",)
+
+    def __init__(self, row: Optional[np.ndarray] = None):
+        self._row = row if row is not None else np.zeros(len(_STAT_FIELDS))
+
+    def to_stats(self) -> ProcStats:
+        """A detached plain-``ProcStats`` copy (e.g. for snapshots)."""
+        return ProcStats(
+            **{name: getattr(self, name) for name in _STAT_FIELDS}
+        )
+
+    def load(self, stats) -> None:
+        """Overwrite this row from a ``ProcStats`` or another view."""
+        if isinstance(stats, ProcStatsView):
+            self._row[:] = stats._row
+        else:
+            row = self._row
+            for i, name in enumerate(_STAT_FIELDS):
+                row[i] = getattr(stats, name)
+
+    def reset(self) -> None:
+        self._row[:] = 0.0
+
+    def __eq__(self, other):
+        if isinstance(other, ProcStatsView):
+            return bool(np.array_equal(self._row, other._row))
+        if isinstance(other, ProcStats):
+            return all(
+                getattr(self, name) == getattr(other, name)
+                for name in _STAT_FIELDS
+            )
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in _STAT_FIELDS
+        )
+        return f"ProcStatsView({body})"
+
+
+def _stat_property(idx: int, integral: bool) -> property:
+    if integral:
+        def fget(self):
+            return int(self._row.item(idx))
+    else:
+        def fget(self):
+            return self._row.item(idx)
+
+    def fset(self, value):
+        self._row[idx] = value
+
+    return property(fget, fset)
+
+
+for _idx, _name in enumerate(_STAT_FIELDS):
+    setattr(ProcStatsView, _name, _stat_property(_idx, _name in _INT_STATS))
+del _idx, _name
+
+
+class _LightMailbox:
+    """Mailbox for single-threaded backends: ``queue.Queue`` semantics
+    (``put`` / ``get_nowait`` raising ``queue.Empty``) over a plain
+    deque with none of the locking.  A real Queue is a mutex plus three
+    condition variables -- measurable both per message and per rank
+    once P reaches the thousands."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self):
+        self._items = deque()
+
+    def put(self, item) -> None:
+        self._items.append(item)
+
+    def get_nowait(self):
+        try:
+            return self._items.popleft()
+        except IndexError:
+            raise queue.Empty from None
+
+    def get(self, timeout=None):
+        # single-threaded backends: nothing can arrive while this rank
+        # holds the thread, so an empty mailbox is final
+        return self.get_nowait()
+
+    def empty(self) -> bool:
+        return not self._items
+
+
 @dataclass
 class RunResult:
     arrays: Dict[Tuple[int, ...], Dict[str, np.ndarray]]
@@ -169,6 +295,21 @@ class RunResult:
     clocks: Dict[Tuple[int, ...], float] = field(default_factory=dict)
     #: the run's event trace when tracing was enabled, else None
     trace: Optional[TraceBuffer] = None
+    #: wall-clock seconds the run took (all incarnations)
+    wall_seconds: float = 0.0
+    #: total node-program operations executed (the loop-cursor sum) --
+    #: the "events" of the events/sec throughput metric
+    sim_events: int = 0
+    #: scheduler wakeups (coroutine resumes) across incarnations;
+    #: None on the threaded backend, which has no scheduler
+    sched_wakeups: Optional[int] = None
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator throughput: model events per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.sim_events / self.wall_seconds
 
     def stat_sum(self, attr: str) -> float:
         return sum(getattr(s, attr) for s in self.stats.values())
@@ -201,8 +342,10 @@ class Processor:
         self.params: Dict[str, int] = dict(machine.params)
         self.pdims = machine.pshape
         self.clock = 0.0
-        self.stats = ProcStats()
-        self.mailbox: "queue.Queue" = queue.Queue()
+        # a standalone row by default; Machine.run/_rollback rebind it
+        # to the machine's shared StatsArray block (DESIGN.md §13)
+        self.stats = ProcStatsView()
+        self.mailbox = machine._make_mailbox()
         self._stash: Dict[tuple, Tuple[List[float], float]] = {}
         self._mc_cache: Dict[tuple, List[float]] = {}
         self._stmts = {s.name: s for s in machine.program.statements()}
@@ -484,13 +627,14 @@ class Processor:
         retransmission that follows would be discarded as a duplicate
         and the channel would wedge.
         """
-        self.machine.monitor.record_dequeued()
+        machine = self.machine
+        machine.monitor.record_dequeued()
         if not envelope.verify():
-            if self.machine.transport.corrupt_is_drop:
+            if machine.transport.corrupt_is_drop:
                 # ARQ: drop the rotten copy; the unacked sender times
                 # out and retransmits, so no state may change here
                 self.stats.corrupt_dropped += 1
-                trace = self.machine.trace
+                trace = machine.trace
                 if trace is not None:
                     # like dup-drop, *which* wait dequeues the bad copy
                     # is a wall-clock artifact (UNSTABLE_KINDS)
@@ -500,6 +644,10 @@ class Processor:
                         tag=envelope.tag, peer=tuple(envelope.src),
                         seq=envelope.seq, incarnation=self._incarnation,
                     ))
+                # the dropped copy never escaped: both its buffer and
+                # its shell go back to the pool
+                machine.recycle_payload(envelope.payload)
+                machine.recycle_envelope(envelope)
                 return
             raise CorruptionError(
                 self.myp, envelope.src, envelope.tag, envelope.seq
@@ -510,7 +658,7 @@ class Processor:
                 # retransmitted/duplicated copy of a message we
                 # already hold: the protocol discards it
                 self.stats.duplicates_dropped += 1
-                trace = self.machine.trace
+                trace = machine.trace
                 if trace is not None:
                     # which *wait* dequeues the duplicate is a wall-clock
                     # artifact, so this marker is excluded from the
@@ -521,9 +669,13 @@ class Processor:
                         peer=tuple(envelope.src), seq=envelope.seq,
                         incarnation=self._incarnation,
                     ))
+                machine.recycle_payload(envelope.payload)
+                machine.recycle_envelope(envelope)
                 return
             self._seen_seqs.add(seen_key)
         self._stash[envelope.tag] = (envelope.payload, envelope.arrival)
+        # the payload now belongs to the stash; the shell is dead
+        machine.recycle_envelope(envelope)
 
     def _recv_finish(self, tag: tuple):
         """The post-wait half of ``recv``: pop the stashed payload and
@@ -669,7 +821,7 @@ class Processor:
             tag: copy_payload(payload)
             for tag, payload in snap.mc_cache.items()
         }
-        self.stats = _dc_replace(snap.stats)
+        self.stats.load(snap.stats)
         self._next_cp_time = snap.next_cp_time
         self.clock = self._resume_clock
         # the jump from the snapshot's clock to the resume clock is
@@ -776,9 +928,10 @@ class Machine:
         trace: Union[bool, TraceBuffer, None] = None,
         checksums: Optional[bool] = None,
     ):
-        if backend not in ("threads", "coop"):
+        if backend not in ("threads", "coop", "event"):
             raise ValueError(
-                f"unknown backend {backend!r} (expected 'threads' or 'coop')"
+                f"unknown backend {backend!r} "
+                f"(expected 'threads', 'coop' or 'event')"
             )
         self.backend = backend
         #: event trace: None (off, the default -- observably free),
@@ -790,6 +943,41 @@ class Machine:
         self.space = space
         self.params = dict(params)
         self.pshape = space.physical_shape(self.params)
+        #: every physical coordinate, sorted -- the deterministic rank
+        #: order every backend iterates in, precomputed once instead of
+        #: re-sorting ``machine.procs`` in scheduler hot loops
+        self.rank_order: List[Tuple[int, ...]] = sorted(
+            tuple(c) for c in space.all_physical(self.params)
+        )
+        self.rank_id: Dict[Tuple[int, ...], int] = {
+            c: i for i, c in enumerate(self.rank_order)
+        }
+        #: interned coordinate tuples: one canonical instance per rank,
+        #: so per-message channel keys (sequence counters, ARQ timers,
+        #: dedup sets) hit dict lookup's pointer-equality fast path
+        #: instead of hashing a fresh tuple per message
+        self._canon: Dict[Tuple[int, ...], Tuple[int, ...]] = {
+            c: c for c in self.rank_order
+        }
+        single_threaded = backend in ("coop", "event")
+        #: COSMA-style buffer discipline (single-threaded backends
+        #: only, where no lock is needed): consumed envelope shells and
+        #: dropped wire-copy buffers are recycled instead of
+        #: re-allocated per message (DESIGN.md §13)
+        self._envelope_pool: Optional[List[Envelope]] = (
+            [] if single_threaded else None
+        )
+        self._payload_pool: Optional[Dict[tuple, List[np.ndarray]]] = (
+            {} if single_threaded else None
+        )
+        #: hook for the event backend: called with the destination rank
+        #: after every successful mailbox delivery, so parked coroutines
+        #: are flagged for wakeup instead of polled
+        self._delivery_watcher: Optional[Callable] = None
+        #: scheduler wakeups accumulated across incarnations (None on
+        #: the threaded backend); StatsArray block for the current run
+        self._sched_wakeups: Optional[int] = None
+        self._stats_block: Optional[StatsArray] = None
         self.cost = cost or CostModel()
         self.timeout = timeout
         self.fault_plan = fault_plan
@@ -862,22 +1050,105 @@ class Machine:
             )
         raise ValueError(f"unknown reliability mode: {reliability!r}")
 
+    # -- per-message allocation discipline -----------------------------------
+
+    def canon(self, rank) -> Tuple[int, ...]:
+        """The interned coordinate tuple for ``rank``.
+
+        One canonical instance per rank per machine: dict lookups keyed
+        by it (sequence counters, ARQ timers, stashes) short-circuit on
+        pointer equality instead of comparing fresh tuples."""
+        rank = tuple(rank)
+        return self._canon.get(rank, rank)
+
+    def _make_mailbox(self):
+        if self.backend == "threads":
+            return queue.Queue()
+        return _LightMailbox()
+
+    def make_envelope(
+        self, src, seq, tag, payload, arrival, sender_pc=0, checksum=None
+    ) -> Envelope:
+        """One wire envelope, drawn from the recycling pool on
+        single-threaded backends."""
+        pool = self._envelope_pool
+        if pool:
+            env = pool.pop()
+            env.src = src
+            env.seq = seq
+            env.tag = tag
+            env.payload = payload
+            env.arrival = arrival
+            env.sender_pc = sender_pc
+            env.checksum = checksum
+            return env
+        return Envelope(src, seq, tag, payload, arrival, sender_pc, checksum)
+
+    def recycle_envelope(self, envelope: Envelope) -> None:
+        """Return a consumed envelope shell to the pool.  Callers
+        guarantee the shell is dead: its payload (if it survived) is
+        owned by the receiver's stash by now."""
+        pool = self._envelope_pool
+        if pool is not None:
+            envelope.payload = None
+            pool.append(envelope)
+
+    def wire_copy(self, payload):
+        """A private wire copy of ``payload``, reusing a recycled
+        buffer of the same dtype and length when one is available."""
+        pool = self._payload_pool
+        if (
+            pool is not None
+            and type(payload) is np.ndarray
+            and payload.ndim == 1
+        ):
+            bucket = pool.get((payload.dtype.str, payload.shape[0]))
+            if bucket:
+                buf = bucket.pop()
+                buf[:] = payload
+                return buf
+        return copy_payload(payload)
+
+    def recycle_payload(self, payload) -> None:
+        """Return a dropped wire copy's buffer to the pool.  Only ever
+        called for copies that never escaped the accept path
+        (dedup-dropped / corrupt-dropped), so no live reference can
+        alias the recycled buffer."""
+        pool = self._payload_pool
+        if (
+            pool is not None
+            and type(payload) is np.ndarray
+            and payload.ndim == 1
+        ):
+            pool.setdefault(
+                (payload.dtype.str, payload.shape[0]), []
+            ).append(payload)
+
     def deliver(self, dest: Tuple[int, ...], envelope: Envelope) -> None:
-        dest = tuple(dest)
+        dest = self.canon(dest)
         if self.checkpoints is not None:
             self.checkpoints.log_delivery(dest, envelope)
-        self.monitor.deliver_envelope(dest, envelope)
+        if self.monitor.deliver_envelope(dest, envelope):
+            watcher = self._delivery_watcher
+            if watcher is not None:
+                watcher(dest)
 
     def initial_arrays(
         self,
         myp: Tuple[int, ...],
         initial_data: Optional[Dict[str, DataDecomp]],
         seed: int,
+        golden: Optional[Dict[str, np.ndarray]] = None,
     ) -> Dict[str, np.ndarray]:
         """Per-processor arrays: owned elements get the true initial
         values, everything else is NaN-poisoned so that reading
-        never-communicated data corrupts results detectably."""
-        golden = allocate_arrays(self.program, self.params, seed)
+        never-communicated data corrupts results detectably.
+
+        ``golden`` lets :meth:`run` hoist the sequential allocation out
+        of the per-rank loop (recomputing it P times is O(P) parses and
+        random streams -- prohibitive at P=1024)."""
+        if golden is None:
+            golden = allocate_arrays(self.program, self.params, seed)
         local: Dict[str, np.ndarray] = {}
         for name, values in golden.items():
             if initial_data is None or name not in initial_data:
@@ -902,7 +1173,7 @@ class Machine:
         initial_data: Optional[Dict[str, DataDecomp]] = None,
         seed: int = 0,
     ) -> RunResult:
-        coords = [tuple(c) for c in self.space.all_physical(self.params)]
+        coords = self.rank_order
         # crash tolerance is armed only when it can matter, so the
         # default path carries zero logging/snapshot overhead
         want_store = (
@@ -921,12 +1192,20 @@ class Machine:
             else None
         )
         self._fired_crashes = set()
+        golden = allocate_arrays(self.program, self.params, seed)
+        self._stats_block = StatsArray(len(coords))
         self.procs = {
             myp: Processor(
-                self, myp, self.initial_arrays(myp, initial_data, seed)
+                self,
+                myp,
+                self.initial_arrays(myp, initial_data, seed, golden=golden),
             )
             for myp in coords
         }
+        for idx, myp in enumerate(coords):
+            # rebind each rank's stats to its row of the shared
+            # array-of-struct block (fresh zeros, same attribute API)
+            self.procs[myp].stats = self._stats_block.view(idx)
         if self.checkpoints is not None:
             for proc in self.procs.values():
                 self.checkpoints.baseline(proc)
@@ -938,6 +1217,8 @@ class Machine:
         restarts = 0
         recovery_time = 0.0
         crash_events: List[CrashEvent] = []
+        self._sched_wakeups = None
+        wall_start = time.perf_counter()
         while True:
             failures = self._run_incarnation(node_fn)
             crashes = [
@@ -977,6 +1258,7 @@ class Machine:
             restarts += 1
             recovery_time += self._rollback(events, restarts)
 
+        wall_seconds = time.perf_counter() - wall_start
         store = self.checkpoints
         stats = {myp: proc.stats for myp, proc in self.procs.items()}
         return RunResult(
@@ -992,6 +1274,9 @@ class Machine:
             snapshots_rejected=store.snapshots_rejected if store else 0,
             clocks={myp: proc.clock for myp, proc in self.procs.items()},
             trace=self.trace,
+            wall_seconds=wall_seconds,
+            sim_events=sum(proc._pc for proc in self.procs.values()),
+            sched_wakeups=self._sched_wakeups,
         )
 
     def _run_incarnation(
@@ -999,12 +1284,18 @@ class Machine:
     ) -> List[Tuple[Tuple[int, ...], BaseException]]:
         """Run every processor to completion once and return the
         failures.  The threaded backend reaps ALL threads (even on
-        failure paths); the cooperative backend interleaves the
-        processors as coroutines on this thread."""
-        if self.backend == "coop":
-            from .scheduler import CoopScheduler
+        failure paths); the cooperative and event backends interleave
+        the processors as coroutines on this thread."""
+        if self.backend in ("coop", "event"):
+            from .scheduler import CoopScheduler, EventScheduler
 
-            return CoopScheduler(self).run(node_fn)
+            cls = EventScheduler if self.backend == "event" else CoopScheduler
+            scheduler = cls(self)
+            failures = scheduler.run(node_fn)
+            self._sched_wakeups = (
+                self._sched_wakeups or 0
+            ) + scheduler.steps
+            return failures
         failures: List[Tuple[Tuple[int, ...], BaseException]] = []
         failures_lock = threading.Lock()
 
@@ -1102,6 +1393,13 @@ class Machine:
                 myp,
                 {name: arr.copy() for name, arr in snap.arrays.items()},
             )
+            if self._stats_block is not None:
+                # reuse the rank's block row: a fresh incarnation starts
+                # from zero stats, then the replay's _restore loads the
+                # snapshot's counters over it
+                view = self._stats_block.view(self.rank_id[myp])
+                view.reset()
+                proc.stats = view
             proc._incarnation = incarnation
             proc._ff_target = snap.pc
             proc._resume_clock = resume

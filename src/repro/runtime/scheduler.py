@@ -1,4 +1,4 @@
-"""Cooperative single-thread execution backend (DESIGN.md §10).
+"""Single-thread execution backends: cooperative and discrete-event.
 
 The historical runtime spends real wall time on one GIL-bound OS thread
 per simulated processor: every ``recv`` blocks in ``queue.Queue`` and
@@ -25,8 +25,29 @@ the calling thread:
   scheduler converts its WAKE pills into the same
   :class:`~.diagnostics.DeadlockError` the threaded backend raises.
 
+Two schedulers share that machinery (DESIGN.md §13):
+
+:class:`CoopScheduler` (``backend="coop"``)
+    The original dense loop: every wakeup scans the whole ready set
+    for the minimum ``(clock, rank)`` -- O(P) per wakeup -- and every
+    drain pass polls every parked mailbox.  Simple, and fine up to a
+    few dozen ranks.
+
+:class:`EventScheduler` (``backend="event"``)
+    A true discrete-event engine: ready coroutines live in a binary
+    heap keyed by ``(clock, rank)`` (O(log P) per wakeup), and parked
+    ranks are woken by a **delivery watcher** hook on
+    ``Machine.deliver`` instead of being polled -- an idle rank costs
+    zero cycles, which is what makes P >= 1024 routine.  Because a
+    ready coroutine's clock is frozen until it is stepped, the heap
+    key equals the key the dense scan would compute, so the event
+    backend's step order -- and therefore every artifact: arrays,
+    ProcStats, the *full* trace including the wall-clock-unstable
+    drop markers, and failure attribution -- is identical to the
+    cooperative backend's by construction.
+
 Costs, stats, stash/dedup handling and the checkpoint replay fast path
-are all shared with the threaded backend -- the scheduler calls the
+are all shared with the threaded backend -- the schedulers call the
 same ``Processor._recv_prologue`` / ``_recv_accept`` / ``_recv_finish``
 halves that ``Processor.recv`` is assembled from, so ``ProcStats``,
 clocks and final arrays are identical across backends.
@@ -39,6 +60,7 @@ would need the threaded backend).
 
 from __future__ import annotations
 
+import heapq
 import inspect
 import queue
 import time
@@ -46,7 +68,7 @@ from typing import Callable, Dict, List, Tuple
 
 from .diagnostics import WAKE, DeadlockError
 
-__all__ = ["CoopScheduler"]
+__all__ = ["CoopScheduler", "EventScheduler"]
 
 #: resume token for a coroutine that has not started yet
 _START = object()
@@ -63,46 +85,68 @@ class CoopScheduler:
         #: myp -> (tag, mc_flag) for a parked receive
         self.waiting: Dict[Tuple[int, ...], Tuple[tuple, bool]] = {}
         self.gens: Dict[Tuple[int, ...], object] = {}
+        #: coroutine resumes ("scheduler wakeups"), surfaced by the run
+        #: summary's throughput line
+        self.steps = 0
 
     # -- entry point ---------------------------------------------------------
+
+    def _rank_order(self) -> List[Tuple[int, ...]]:
+        """The machine's precomputed sorted rank order (hoisted out of
+        the hot loops); falls back to sorting for hand-built machines
+        whose ``procs`` differ from the declared processor space."""
+        order = self.machine.rank_order
+        if len(order) != len(self.machine.procs):
+            order = sorted(self.machine.procs)
+        return order
 
     def run(
         self, node_fn: Callable
     ) -> List[Tuple[Tuple[int, ...], BaseException]]:
         machine = self.machine
         if not inspect.isgeneratorfunction(node_fn):
-            # hand-written harness: run to completion in coordinate order
-            for myp in sorted(machine.procs):
-                proc = machine.procs[myp]
-                clean = False
-                try:
-                    node_fn(proc)
-                    clean = True
-                except BaseException as exc:  # noqa: BLE001 - surfaced by run()
-                    self.failures.append((myp, exc))
-                finally:
-                    machine.monitor.finish(myp, clean=clean)
-            return self.failures
+            return self._run_plain(node_fn)
 
-        for myp in sorted(machine.procs):
-            self.gens[myp] = node_fn(machine.procs[myp])
-            self.ready[myp] = _START
+        procs = machine.procs
+        gens = self.gens
+        ready = self.ready
+        for myp in self._rank_order():
+            gens[myp] = node_fn(procs[myp])
+            ready[myp] = _START
+
+        def key(p, _procs=procs):  # hoisted: one closure per run
+            return (_procs[p].clock, p)
+
         deadline = time.monotonic() + machine.timeout * 4
-        while self.ready or self.waiting:
+        while ready or self.waiting:
             if time.monotonic() > deadline:
                 raise DeadlockError(
                     f"node program did not terminate within "
                     f"{machine.timeout * 4:g}s (cooperative backend)",
                     report=machine.monitor.build_report(),
                 )
-            if self.ready:
-                myp = min(
-                    self.ready,
-                    key=lambda p: (machine.procs[p].clock, p),
-                )
-                self._step(myp, self.ready.pop(myp))
+            if ready:
+                myp = min(ready, key=key)
+                self._step(myp, ready.pop(myp))
             else:
                 self._drain_parked()
+        return self.failures
+
+    def _run_plain(
+        self, node_fn: Callable
+    ) -> List[Tuple[Tuple[int, ...], BaseException]]:
+        """Hand-written harness: run to completion in coordinate order."""
+        machine = self.machine
+        for myp in self._rank_order():
+            proc = machine.procs[myp]
+            clean = False
+            try:
+                node_fn(proc)
+                clean = True
+            except BaseException as exc:  # noqa: BLE001 - surfaced by run()
+                self.failures.append((myp, exc))
+            finally:
+                machine.monitor.finish(myp, clean=clean)
         return self.failures
 
     # -- one coroutine step --------------------------------------------------
@@ -112,6 +156,7 @@ class CoopScheduler:
         machine = self.machine
         proc = machine.procs[myp]
         gen = self.gens[myp]
+        self.steps += 1
         try:
             if token is _START:
                 request = next(gen)
@@ -178,39 +223,50 @@ class CoopScheduler:
                 continue
             proc._recv_accept(envelope)
 
+    def _unpark(self, myp: Tuple[int, ...], token) -> None:
+        """Hand a satisfied receive back to the ready structure."""
+        self.ready[myp] = token
+
+    def _drain_one(self, myp: Tuple[int, ...]) -> bool:
+        """Pump one parked rank's mailbox.  True when it progressed:
+        the rank was resumed, failed, or converted to a deadlock."""
+        machine = self.machine
+        proc = machine.procs[myp]
+        tag, mc = self.waiting[myp]
+        try:
+            woke = self._pump_mailbox(proc)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by Machine.run
+            # a CorruptionError raised while accepting a delivery
+            # must land in the failures list exactly as it would
+            # from the threaded backend's recv loop
+            del self.waiting[myp]
+            self.failures.append((myp, exc))
+            machine.monitor.finish(myp, clean=False)
+            return True
+        if tag in proc._stash:
+            del self.waiting[myp]
+            machine.monitor.unblock(myp)
+            self._unpark(myp, (tag, mc))
+            return True
+        if woke:
+            del self.waiting[myp]
+            err = DeadlockError(
+                f"deadlock: processor {myp} waits on {tag}, which "
+                f"no in-flight or future message can satisfy",
+                report=machine.monitor.report,
+            )
+            self.failures.append((myp, err))
+            machine.monitor.finish(myp, clean=False)
+            return True
+        return False
+
     def _drain_parked(self) -> None:
         """No coroutine is runnable: satisfy parked receives from their
         mailboxes, or convert a diagnosed deadlock into failures."""
         machine = self.machine
         progressed = False
         for myp in sorted(self.waiting):
-            proc = machine.procs[myp]
-            tag, mc = self.waiting[myp]
-            try:
-                woke = self._pump_mailbox(proc)
-            except BaseException as exc:  # noqa: BLE001 - surfaced by Machine.run
-                # a CorruptionError raised while accepting a delivery
-                # must land in the failures list exactly as it would
-                # from the threaded backend's recv loop
-                del self.waiting[myp]
-                self.failures.append((myp, exc))
-                machine.monitor.finish(myp, clean=False)
-                progressed = True
-                continue
-            if tag in proc._stash:
-                del self.waiting[myp]
-                machine.monitor.unblock(myp)
-                self.ready[myp] = (tag, mc)
-                progressed = True
-            elif woke:
-                del self.waiting[myp]
-                err = DeadlockError(
-                    f"deadlock: processor {myp} waits on {tag}, which "
-                    f"no in-flight or future message can satisfy",
-                    report=machine.monitor.report,
-                )
-                self.failures.append((myp, err))
-                machine.monitor.finish(myp, clean=False)
+            if self._drain_one(myp):
                 progressed = True
         if progressed or not self.waiting:
             return
@@ -229,3 +285,96 @@ class CoopScheduler:
                 "no satisfiable receive",
                 report=machine.monitor.build_report(),
             )
+
+
+class EventScheduler(CoopScheduler):
+    """Discrete-event engine: a heap of ready coroutines.
+
+    Replaces the cooperative scheduler's O(P) min-scan per wakeup with
+    a binary heap keyed by ``(clock, rank)``, and its poll-everyone
+    drain passes with a **delivery watcher**: ``Machine.deliver``
+    reports every successful mailbox delivery, and only parked ranks
+    with undrained mail are ever touched -- an idle rank costs nothing.
+
+    A ready coroutine's clock cannot change until it is stepped (only
+    its own execution mutates it), so the key it was pushed with is
+    exactly the key the dense scan would compute at pop time: the step
+    sequence is identical to :class:`CoopScheduler`'s, which makes
+    every run artifact bit-identical by construction.  WAKE pills are
+    pushed by the monitor directly into mailboxes (bypassing the
+    watcher), but only once every rank is parked and nothing is in
+    flight -- at which point the heap is empty, no rank is flagged,
+    and the inherited full drain converts them exactly as coop does.
+    """
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        #: (frozen clock, rank, resume token) ready events
+        self._heap: List[tuple] = []
+        #: parked ranks with undrained deliveries; every other parked
+        #: rank's mailbox is provably empty (it pumped before parking
+        #: and the watcher has flagged nothing since)
+        self._pending: set = set()
+
+    def run(
+        self, node_fn: Callable
+    ) -> List[Tuple[Tuple[int, ...], BaseException]]:
+        machine = self.machine
+        if not inspect.isgeneratorfunction(node_fn):
+            return self._run_plain(node_fn)
+
+        procs = machine.procs
+        gens = self.gens
+        heap = self._heap
+        for myp in self._rank_order():
+            gens[myp] = node_fn(procs[myp])
+            # after a rollback the resume clock is nonzero, so seed
+            # with the live clock rather than assuming zero
+            heap.append((procs[myp].clock, myp, _START))
+        heapq.heapify(heap)
+        machine._delivery_watcher = self._on_delivery
+        try:
+            deadline = time.monotonic() + machine.timeout * 4
+            while heap or self.waiting:
+                if time.monotonic() > deadline:
+                    raise DeadlockError(
+                        f"node program did not terminate within "
+                        f"{machine.timeout * 4:g}s (event backend)",
+                        report=machine.monitor.build_report(),
+                    )
+                if heap:
+                    _clock, myp, token = heapq.heappop(heap)
+                    self._step(myp, token)
+                else:
+                    self._drain_parked()
+        finally:
+            machine._delivery_watcher = None
+        return self.failures
+
+    def _on_delivery(self, dest: Tuple[int, ...]) -> None:
+        """Machine.deliver hook: flag a parked receiver for wakeup.
+        Deliveries to running/ready ranks need no flag -- they pump
+        their own mailbox before deciding to park."""
+        if dest in self.waiting:
+            self._pending.add(dest)
+
+    def _unpark(self, myp: Tuple[int, ...], token) -> None:
+        heapq.heappush(
+            self._heap, (self.machine.procs[myp].clock, myp, token)
+        )
+
+    def _drain_parked(self) -> None:
+        pending = self._pending
+        if pending:
+            flagged = sorted(p for p in pending if p in self.waiting)
+            pending.clear()
+            progressed = False
+            for myp in flagged:
+                if self._drain_one(myp):
+                    progressed = True
+            if progressed:
+                return
+        # no flagged mail (or it was all dropped copies): fall back to
+        # the full drain, which re-runs the monitor's deadlock test and
+        # converts its WAKE pills -- same terminal behaviour as coop
+        super()._drain_parked()

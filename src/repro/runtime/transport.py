@@ -269,7 +269,7 @@ class DirectTransport(Transport):
         transport; it is only consumed when corruption is armed so the
         fault-free path stays bit-identical to the historical one.
         """
-        wire = copy_payload(payload)
+        wire = proc.machine.wire_copy(payload)
         plan = self.plan
         if plan is None or not plan.any_corruption_faults:
             return wire, None, ""
@@ -290,7 +290,9 @@ class DirectTransport(Transport):
         arrival = proc.clock + machine.cost.latency
         machine.deliver(
             dest,
-            Envelope(proc.myp, seq, tag, wire, arrival, proc._pc, checksum),
+            machine.make_envelope(
+                proc.myp, seq, tag, wire, arrival, proc._pc, checksum
+            ),
         )
         machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
         self._trace_send(proc, dest, tag, payload, start, seq=seq, note=note)
@@ -310,8 +312,9 @@ class DirectTransport(Transport):
             arrival = proc.clock + machine.cost.latency
             machine.deliver(
                 dest,
-                Envelope(proc.myp, seq, tag, wire, arrival, proc._pc,
-                         checksum),
+                machine.make_envelope(
+                    proc.myp, seq, tag, wire, arrival, proc._pc, checksum
+                ),
             )
             machine.monitor.record_send(proc.myp, dest, tag, delivered=True)
             self._trace_send(proc, dest, tag, payload, proc.clock, seq=seq,
@@ -330,7 +333,7 @@ class UnreliableTransport(Transport):
         start = proc.clock
         self._charge_startup(proc, payload)
         self._count(proc, payload)
-        self._cast(proc, dest, tag, copy_payload(payload), start)
+        self._cast(proc, dest, tag, proc.machine.wire_copy(payload), start)
 
     def multicast(self, proc, dests, tag, payload) -> None:
         if not dests:
@@ -341,8 +344,8 @@ class UnreliableTransport(Transport):
         self._trace_multicast(proc, dests, tag, payload, start)
         for dest in dests:
             self._count(proc, payload)
-            self._cast(proc, dest, tag, copy_payload(payload), proc.clock,
-                       note="multicast")
+            self._cast(proc, dest, tag, proc.machine.wire_copy(payload),
+                       proc.clock, note="multicast")
 
     def _cast(self, proc, dest, tag, payload, start, note="") -> None:
         machine, plan = proc.machine, self.plan
@@ -364,7 +367,10 @@ class UnreliableTransport(Transport):
         delay = plan.delay(proc.myp, dest, tag, 0)
         arrival = proc.clock + machine.cost.latency + delay
         machine.deliver(
-            dest, Envelope(proc.myp, None, tag, payload, arrival, proc._pc)
+            dest,
+            machine.make_envelope(
+                proc.myp, None, tag, payload, arrival, proc._pc
+            ),
         )
         if plan.duplicates(proc.myp, dest, tag, 0):
             proc.stats.duplicates_sent += 1
@@ -372,8 +378,8 @@ class UnreliableTransport(Transport):
                 note = "duplicated"
             machine.deliver(
                 dest,
-                Envelope(
-                    proc.myp, None, tag, copy_payload(payload),
+                machine.make_envelope(
+                    proc.myp, None, tag, machine.wire_copy(payload),
                     arrival + machine.cost.latency, proc._pc,
                 ),
             )
@@ -460,7 +466,8 @@ class ReliableTransport(Transport):
         checksum = self._checksum(payload)
         base = self._initial_rto(cost)
         cap = base * self.backoff ** self.max_retries
-        dkey = tuple(dest)
+        # interned channel key: no per-message tuple allocation
+        dkey = machine.canon(dest)
         if self.adaptive:
             rto = min(proc._arq_rto.get(dkey, base), cap)
         else:
@@ -500,7 +507,7 @@ class ReliableTransport(Transport):
                     plan.delay(proc.myp, dest, tag, attempt) if plan else 0.0
                 )
                 arrival = proc.clock + cost.latency + delay
-                wire = copy_payload(payload)
+                wire = machine.wire_copy(payload)
                 if corrupted:
                     # the flip happens on the wire, after the checksum
                     # was stamped: the receiver's verification fails,
@@ -514,8 +521,9 @@ class ReliableTransport(Transport):
                     proc.stats.corruptions_injected += 1
                 machine.deliver(
                     dest,
-                    Envelope(proc.myp, seq, tag, wire, arrival, proc._pc,
-                             checksum),
+                    machine.make_envelope(
+                        proc.myp, seq, tag, wire, arrival, proc._pc, checksum
+                    ),
                 )
                 if not corrupted:
                     delivered_once = True
@@ -525,8 +533,8 @@ class ReliableTransport(Transport):
                         proc.stats.duplicates_sent += 1
                         machine.deliver(
                             dest,
-                            Envelope(
-                                proc.myp, seq, tag, copy_payload(payload),
+                            machine.make_envelope(
+                                proc.myp, seq, tag, machine.wire_copy(payload),
                                 arrival + cost.latency, proc._pc, checksum,
                             ),
                         )

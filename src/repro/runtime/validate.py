@@ -43,8 +43,10 @@ def run_spmd(
     reliability subsystem; ``checkpoint``/``max_restarts`` configure
     fail-stop crash tolerance (see :class:`~.machine.Machine`).
     ``backend`` selects the execution engine: ``"threads"`` (one OS
-    thread per processor, the default) or ``"coop"`` (all processors
-    as coroutines on one thread, deterministic virtual-time order).
+    thread per processor, the default), ``"coop"`` (all processors
+    as coroutines on one thread, deterministic virtual-time order) or
+    ``"event"`` (discrete-event heap, same order, idle ranks cost
+    zero cycles -- prefer at large P).
     ``trace=True`` (or a caller-owned
     :class:`~.trace.TraceBuffer`) records the typed event trace on
     ``RunResult.trace``; off by default and observably free.

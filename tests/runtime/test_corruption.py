@@ -35,7 +35,7 @@ from repro.runtime.analysis import Decomposition, comm_matrix, unmatched_receive
 
 from .trace_workloads import COMBOS, WORKLOADS
 
-BACKENDS = ("threads", "coop")
+BACKENDS = ("threads", "coop", "event")
 
 
 def assert_same_arrays(got, want, label):

@@ -1,0 +1,113 @@
+"""Large-P determinism for the discrete-event backend (ISSUE 7).
+
+The event backend must be a pure scheduling optimization: running
+fig2 and the pipelined stencil at P=128 twice must give bit-identical
+arrays, normalized traces, and ProcStats across repeats -- and the
+same artifacts as the cooperative backend.  A structural-deadlock
+check mirrors the coop scheduler's diagnosis guarantees.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.codegen import SPMDOptions, generate_spmd
+from repro.decomp import block_loop
+from repro.lang import parse
+from repro.runtime import DeadlockError, Machine, run_spmd
+
+from .trace_workloads import FIG2_SRC, STENCIL_SRC
+
+P = 128
+
+#: (name, source, params) -- blocks sized so work spreads over P ranks
+LARGE_WORKLOADS = {
+    "fig2": (FIG2_SRC, {"N": 512, "T": 2, "P": P}, "i", 4),
+    "stencil": (STENCIL_SRC, {"N": 256, "T": 3, "P": P}, "i", 2),
+}
+
+
+def _build(name):
+    src, params, loop_var, block = LARGE_WORKLOADS[name]
+    program = parse(src, name=name)
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, [loop_var], [block])}
+    spmd = generate_spmd(program, comps, options=SPMDOptions(vectorize=True))
+    return spmd, params
+
+
+def _assert_identical(base, other, label):
+    assert other.makespan == base.makespan, label
+    assert other.clocks == base.clocks, label
+    assert other.stats == base.stats, label
+    assert other.trace.normalized() == base.trace.normalized(), label
+    for myp in base.arrays:
+        for arr in base.arrays[myp]:
+            assert np.array_equal(
+                other.arrays[myp][arr], base.arrays[myp][arr],
+                equal_nan=True,
+            ), f"{label}: array {arr} differs on {myp}"
+
+
+class TestLargePDeterminism:
+    @pytest.mark.parametrize("name", sorted(LARGE_WORKLOADS))
+    def test_event_repeatable_and_matches_coop_at_p128(self, name):
+        spmd, params = _build(name)
+        first = run_spmd(spmd, params, backend="event", trace=True)
+        again = run_spmd(spmd, params, backend="event", trace=True)
+        coop = run_spmd(spmd, params, backend="coop", trace=True)
+        assert len(first.clocks) == P
+        _assert_identical(first, again, f"{name}: event run not repeatable")
+        _assert_identical(first, coop, f"{name}: event diverges from coop")
+
+    @pytest.mark.parametrize("name", sorted(LARGE_WORKLOADS))
+    def test_event_throughput_counters_populated(self, name):
+        spmd, params = _build(name)
+        result = run_spmd(spmd, params, backend="event")
+        assert result.sim_events > 0
+        assert result.wall_seconds > 0
+        assert result.events_per_sec > 0
+        assert result.sched_wakeups is not None and result.sched_wakeups > 0
+
+
+class TestEventScheduler:
+    def _machine(self, nprocs=2, timeout=60.0):
+        prog = parse(FIG2_SRC)
+        stmt = prog.statements()[0]
+        comp = block_loop(stmt, ["i"], [32])
+        return Machine(
+            prog, comp.space, {"N": 70, "T": 0, "P": nprocs},
+            timeout=timeout, backend="event",
+        )
+
+    def test_structural_deadlock_detected_fast(self):
+        """Same guarantee as coop: a mismatched receive is diagnosed by
+        the monitor's in-flight audit, not by waiting out the timeout."""
+        machine = self._machine(nprocs=2, timeout=60.0)
+
+        def bad_node(proc):
+            proc.arrays  # touch, then wait on a tag nobody sends
+            payload = yield ("recv", (0,), ("never", proc.myp[0]))
+            del payload
+
+        start = time.monotonic()
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run(bad_node)
+        assert time.monotonic() - start < 2.0
+        report = excinfo.value.report
+        assert report is not None
+        assert {p.myp for p in report.blocked} == {(0,), (1,)}
+        assert report.in_flight == 0
+
+    def test_one_sided_deadlock_names_the_waiter(self):
+        """One processor finishes; the other waits forever on it."""
+        machine = self._machine(nprocs=2, timeout=60.0)
+
+        def node(proc):
+            if proc.myp == (1,):
+                yield ("recv", (0,), ("ghost",))
+
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run(node)
+        assert "(1,)" in str(excinfo.value)

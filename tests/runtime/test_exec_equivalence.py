@@ -121,7 +121,7 @@ WORKLOADS = {
 COMBOS = [
     (vec, backend)
     for vec in (False, True)
-    for backend in ("threads", "coop")
+    for backend in ("threads", "coop", "event")
 ]
 
 

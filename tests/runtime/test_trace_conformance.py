@@ -128,15 +128,14 @@ class TestRandomProgramConformance:
         comm_base = None
         for vec in (False, True):
             per_backend = []
-            for backend in ("threads", "coop"):
+            for backend in ("threads", "coop", "event"):
                 result = run_spmd(
                     spmds[vec], {"P": nprocs},
                     initial_data=init, backend=backend, trace=True,
                 )
                 per_backend.append(result.trace)
-            assert (
-                per_backend[0].normalized() == per_backend[1].normalized()
-            )
+            for other in per_backend[1:]:
+                assert per_backend[0].normalized() == other.normalized()
             comm = per_backend[0].normalized(COMM_KINDS)
             if comm_base is None:
                 comm_base = comm

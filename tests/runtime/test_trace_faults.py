@@ -80,7 +80,7 @@ class TestLossyNetworkTraces:
             backend: run_spmd(
                 spmd, params, fault_plan=plan, backend=backend, trace=True
             )
-            for backend in ("threads", "coop")
+            for backend in ("threads", "coop", "event")
         }
         # dup-drop placement *and count* depend on wall-clock arrival
         # interleaving; everything else -- including every
@@ -184,7 +184,7 @@ class TestCrashTraces:
                 checkpoint=CheckpointPolicy(every_ops=20),
                 backend=backend, trace=True,
             )
-            for backend in ("threads", "coop")
+            for backend in ("threads", "coop", "event")
         }
         assert (
             runs["threads"].trace.normalized()

@@ -114,7 +114,7 @@ WORKLOADS = {
 COMBOS = [
     (vec, backend)
     for vec in (False, True)
-    for backend in ("threads", "coop")
+    for backend in ("threads", "coop", "event")
 ]
 
 #: communication-event kinds: invariant not just across backends but
