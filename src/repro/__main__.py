@@ -273,6 +273,8 @@ def cmd_run(args) -> int:
             checksums={"auto": None, "on": True, "off": False}[
                 args.checksums
             ],
+            recovery=args.recovery_mode,
+            log_bytes_cap=args.log_bytes_cap,
         )
     except (CrashError, DeadlockError, TransportError) as exc:
         print(f"run FAILED: {type(exc).__name__}")
@@ -319,10 +321,15 @@ def cmd_run(args) -> int:
     if result.crash_events or result.checkpoints:
         print(
             f"resilience: {len(result.crash_events)} crash(es), "
-            f"{result.restarts} restart(s), "
+            f"{result.restarts} {result.recovery_mode} restart(s), "
             f"{result.checkpoints} checkpoint(s) taken, "
-            f"{result.recovery_time:.0f} time units spent recovering"
+            f"{result.recovery_time:.0f} time units spent recovering, "
+            f"{result.work_wasted:.0f} time units of work discarded"
         )
+        if result.log_bytes_peak:
+            print(
+                f"  sender message log peak: {result.log_bytes_peak} bytes"
+            )
         for event in result.crash_events:
             print(f"  {event.describe()}")
     if args.trace and result.trace is not None:
@@ -367,6 +374,11 @@ def cmd_chaos(args) -> int:
     backends = list(
         dict.fromkeys(args.backend or ["threads", "coop", "event"])
     )
+    recovery_modes = (
+        ("global", "local")
+        if args.recovery_mode == "both"
+        else (args.recovery_mode,)
+    )
     saved = _transport._VERIFY_DISABLED
     if args.inject_bug:
         _transport._VERIFY_DISABLED = True
@@ -379,6 +391,8 @@ def cmd_chaos(args) -> int:
             targeted=not args.no_targeted,
             vectorize=args.vectorize,
             shrink_budget=args.shrink_budget,
+            recovery_modes=recovery_modes,
+            crashes=not args.no_crashes,
             log=lambda msg: print(f"chaos: {msg}"),
         )
     finally:
@@ -560,6 +574,18 @@ def main(argv=None) -> int:
         help="coordinated rollbacks to attempt before giving up with a "
         "crash report (default 3)",
     )
+    res.add_argument(
+        "--recovery-mode", choices=["global", "local"], default="global",
+        help="crash recovery discipline: global = roll every rank back "
+        "to its checkpoint (default), local = restart only the crashed "
+        "rank, re-serving its messages from the sender log",
+    )
+    res.add_argument(
+        "--log-bytes-cap", type=_pos_int, default=None, metavar="BYTES",
+        help="cap the sender message log per channel; exceeding it "
+        "fails fast with a structured LogOverflowError instead of "
+        "growing without bound (default: uncapped)",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_chaos = sub.add_parser(
@@ -597,6 +623,16 @@ def main(argv=None) -> int:
         "--no-targeted", action="store_true",
         help="skip the explicit schedules aimed at critical-path "
         "messages",
+    )
+    p_chaos.add_argument(
+        "--recovery-mode", choices=["global", "local", "both"],
+        default="both",
+        help="crash-recovery discipline(s) the scheduled crash trials "
+        "run under (default: both)",
+    )
+    p_chaos.add_argument(
+        "--no-crashes", action="store_true",
+        help="skip the scheduled fail-stop crash trials",
     )
     p_chaos.add_argument(
         "--vectorize", action="store_true",

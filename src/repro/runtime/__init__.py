@@ -63,6 +63,9 @@ from .transport import (
     CorruptionError,
     DirectTransport,
     Envelope,
+    LogOverflowError,
+    LogRecord,
+    MessageLog,
     ReliableTransport,
     Transport,
     TransportError,
@@ -93,7 +96,10 @@ __all__ = [
     "DirectTransport",
     "Envelope",
     "FaultPlan",
+    "LogOverflowError",
+    "LogRecord",
     "Machine",
+    "MessageLog",
     "ProcStats",
     "Processor",
     "ProcessorCrashed",

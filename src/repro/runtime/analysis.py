@@ -417,6 +417,16 @@ def summarize(result) -> str:
                 f", {result.sched_wakeups / nranks:.1f} wakeups per rank"
             )
         lines.append(throughput)
+    if getattr(result, "restarts", 0) > 0 or getattr(
+        result, "crash_events", None
+    ):
+        lines.append(
+            f"resilience: recovery={getattr(result, 'recovery_mode', 'global')}, "
+            f"{result.restarts} restart(s), "
+            f"{len(result.crash_events)} crash(es), "
+            f"work wasted {result.work_wasted:g}, "
+            f"sender log peak {getattr(result, 'log_bytes_peak', 0)} bytes"
+        )
     lines.append(comm_matrix(trace).format())
     lines.append("makespan decomposition:")
     for myp, deco in decompose(result).items():

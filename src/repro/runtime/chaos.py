@@ -53,6 +53,7 @@ import numpy as np
 
 from . import transport as _transport
 from .analysis import Decomposition, comm_matrix, critical_path, unmatched_receives
+from .checkpoint import CheckpointPolicy
 from .faults import FaultPlan
 from .transport import CorruptionError
 
@@ -334,6 +335,11 @@ def _invariant_violation(result) -> Optional[str]:
     trace-derived), comm-matrix/stats reconciliation, and the
     no-unmatched-receives audit.  (Critical path == makespan is exact
     only fault-free, so it is not part of the fault-trial oracle.)
+
+    After a restart the trace retains the discarded pre-crash events
+    while the stats counters are rewound to the checkpoint, so every
+    trace-vs-stats reconciliation is exact only when ``restarts == 0``;
+    the stats-only decomposition identity must hold regardless.
     """
     trace = result.trace
     if trace is None:
@@ -345,6 +351,8 @@ def _invariant_violation(result) -> Optional[str]:
         if result.restarts == 0:
             if Decomposition.from_trace(trace, myp) != deco:
                 return "decomposition-trace-vs-stats"
+    if result.restarts > 0:
+        return None
     matrix = comm_matrix(trace)
     if matrix.total_messages != result.total_messages:
         return "matrix-total-messages"
@@ -368,7 +376,17 @@ def _invariant_violation(result) -> Optional[str]:
     return None
 
 
-def _observe(spmd, params, backend, plan, transport, oracle_arrays) -> str:
+def _observe(
+    spmd,
+    params,
+    backend,
+    plan,
+    transport,
+    oracle_arrays,
+    recovery: str = "global",
+    checkpoint: Optional[CheckpointPolicy] = None,
+    max_restarts: int = 3,
+) -> str:
     """Run one trial and name the outcome.
 
     ``"clean"`` = completed, arrays bit-identical to the oracle, all
@@ -386,6 +404,9 @@ def _observe(spmd, params, backend, plan, transport, oracle_arrays) -> str:
             fault_plan=plan,
             reliability=transport,
             trace=True,
+            recovery=recovery,
+            checkpoint=checkpoint,
+            max_restarts=max_restarts,
         )
     except CorruptionError:
         return "corruption-error"
@@ -523,10 +544,13 @@ class ChaosFinding:
     events: int
     #: self-contained replayable artifact (see :func:`replay_reproducer`)
     reproducer: dict
+    #: recovery mode the trial ran under ("global" or "local")
+    recovery: str = "global"
 
     def describe(self) -> str:
         return (
-            f"{self.scenario} [{self.backend}/{self.transport}] "
+            f"{self.scenario} [{self.backend}/{self.transport}/"
+            f"{self.recovery}] "
             f"expected {self.expected}, observed {self.observed} "
             f"({self.events} fault event(s) after shrinking)"
         )
@@ -558,6 +582,20 @@ class ChaosReport:
         return "\n".join(lines)
 
 
+def _policy_to_json(policy: Optional[CheckpointPolicy]) -> Optional[dict]:
+    if policy is None:
+        return None
+    return {"every_ops": policy.every_ops, "interval": policy.interval}
+
+
+def _policy_from_json(doc: Optional[dict]) -> Optional[CheckpointPolicy]:
+    if not doc:
+        return None
+    return CheckpointPolicy(
+        every_ops=doc.get("every_ops"), interval=doc.get("interval")
+    )
+
+
 def _make_reproducer(
     scenario: Scenario,
     backend: str,
@@ -565,6 +603,8 @@ def _make_reproducer(
     plan: FaultPlan,
     expected: str,
     observed: str,
+    recovery: str = "global",
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> dict:
     return {
         "version": 1,
@@ -575,7 +615,16 @@ def _make_reproducer(
         "plan": plan_to_json(plan),
         "expected": expected,
         "observed": observed,
+        "recovery": recovery,
+        "checkpoint": _policy_to_json(checkpoint),
     }
+
+
+#: checkpoint cadence the crash trials run under -- frequent enough
+#: that every workload takes several cuts, cheap enough to explore
+_CRASH_POLICY = CheckpointPolicy(every_ops=25)
+#: crash instants as fractions of the fault-free makespan
+_CRASH_FRACTIONS = (0.3, 0.6)
 
 
 def explore(
@@ -587,6 +636,8 @@ def explore(
     targeted_limit: int = 4,
     vectorize: bool = False,
     shrink_budget: int = 150,
+    recovery_modes: Sequence[str] = ("global", "local"),
+    crashes: bool = True,
     log=None,
 ) -> ChaosReport:
     """Enumerate fault schedules, check oracles, shrink failures.
@@ -595,8 +646,13 @@ def explore(
     ``targeted``) explicit schedules for the first ``targeted_limit``
     critical-path messages, each under every backend -- plus, for each
     targeted schedule, a direct-transport trial expecting a structured
-    ``CorruptionError``.  Returns a :class:`ChaosReport`; findings carry
-    shrunk, replayable reproducers.
+    ``CorruptionError``.  With ``crashes`` (the default), scheduled
+    fail-stop crash plans -- each rank killed at fractions of the
+    fault-free makespan -- run under every ``recovery_modes`` entry
+    (global rollback and localized sender-log recovery), expecting
+    bit-exact oracle arrays either way.  Returns a
+    :class:`ChaosReport`; findings carry shrunk, replayable
+    reproducers.
     """
     if not 0.0 <= corrupt_rate <= 1.0:
         raise ValueError(
@@ -605,6 +661,12 @@ def explore(
         )
     if seeds < 0:
         raise ValueError(f"seeds must be >= 0, got {seeds!r}")
+    for mode in recovery_modes:
+        if mode not in ("global", "local"):
+            raise ValueError(
+                f"unknown recovery mode {mode!r} "
+                f"(expected 'global' or 'local')"
+            )
     say = log or (lambda _msg: None)
     report = ChaosReport()
     budget = [shrink_budget]
@@ -632,26 +694,48 @@ def explore(
             for myp, arrays in oracle.arrays.items()
         }
 
-        trials: List[Tuple[str, str, FaultPlan]] = []
+        # (expected, backend, plan, transport, recovery, checkpoint)
+        trials: List[tuple] = []
         for seed in range(seeds):
             plan = FaultPlan(seed=seed, corrupt_rate=corrupt_rate)
             for backend in backends:
-                trials.append(("oracle", backend, plan, "reliable"))
+                trials.append(
+                    ("oracle", backend, plan, "reliable", "global", None)
+                )
         if targeted:
             for src, dst, seq in _critical_channel_messages(
                 oracle.trace, targeted_limit
             ):
                 plan = FaultPlan(corruptions={(src, dst, seq): 0})
                 for backend in backends:
-                    trials.append(("oracle", backend, plan, "reliable"))
-                    trials.append(
-                        ("corruption-error", backend, plan, "direct")
+                    trials.append((
+                        "oracle", backend, plan, "reliable",
+                        "global", None,
+                    ))
+                    trials.append((
+                        "corruption-error", backend, plan, "direct",
+                        "global", None,
+                    ))
+        if crashes:
+            ranks = sorted(oracle.arrays)
+            targets = ranks[: min(2, len(ranks))]
+            for frac in _CRASH_FRACTIONS:
+                for rank in targets:
+                    plan = FaultPlan(
+                        crashes={rank: oracle.makespan * frac}
                     )
+                    for backend in backends:
+                        for mode in recovery_modes:
+                            trials.append((
+                                "oracle", backend, plan, "reliable",
+                                mode, _CRASH_POLICY,
+                            ))
 
-        for expected, backend, plan, transport in trials:
+        for expected, backend, plan, transport, recovery, policy in trials:
             report.trials += 1
             observed = _observe(
-                spmd, params, backend, plan, transport, oracle_arrays
+                spmd, params, backend, plan, transport, oracle_arrays,
+                recovery=recovery, checkpoint=policy,
             )
             met = (
                 observed == "clean"
@@ -661,25 +745,33 @@ def explore(
             if met:
                 continue
             say(
-                f"{name} [{backend}/{transport}]: expected {expected}, "
+                f"{name} [{backend}/{transport}/{recovery}]: "
+                f"expected {expected}, "
                 f"observed {observed} -- shrinking"
             )
+            entries_field = "corruptions"
             entries = list(plan.corruptions or ())
+            if not entries and plan.crashes:
+                entries_field = "crashes"
+                entries = list(plan.crashes)
             if not entries and plan.corrupt_rate > 0:
                 entries = _explicitize(
                     spmd, params, backend, plan, transport
                 )
 
             def fails(candidate, _plan=plan, _backend=backend,
-                      _transport=transport, _observed=observed):
+                      _transport=transport, _observed=observed,
+                      _recovery=recovery, _policy=policy,
+                      _field=entries_field):
                 trial_plan = FaultPlan(
                     seed=_plan.seed,
-                    corruptions=dict(candidate) or None,
+                    **{_field: dict(candidate) or None},
                 )
                 return (
                     _observe(
                         spmd, params, _backend, trial_plan, _transport,
                         oracle_arrays,
+                        recovery=_recovery, checkpoint=_policy,
                     )
                     == _observed
                 )
@@ -689,7 +781,8 @@ def explore(
             if entries and fails(entries):
                 shrunk = _ddmin(entries, fails, budget)
                 shrunk_plan = FaultPlan(
-                    seed=plan.seed, corruptions=dict(shrunk) or None
+                    seed=plan.seed,
+                    **{entries_field: dict(shrunk) or None},
                 )
                 events = len(shrunk)
             report.findings.append(ChaosFinding(
@@ -703,7 +796,9 @@ def explore(
                 reproducer=_make_reproducer(
                     scenario, backend, transport, shrunk_plan,
                     expected, observed,
+                    recovery=recovery, checkpoint=policy,
                 ),
+                recovery=recovery,
             ))
     return report
 
@@ -751,6 +846,8 @@ def replay_reproducer(doc: dict) -> Tuple[bool, str]:
             plan,
             doc["transport"],
             oracle_arrays,
+            recovery=doc.get("recovery", "global"),
+            checkpoint=_policy_from_json(doc.get("checkpoint")),
         )
     finally:
         _transport._VERIFY_DISABLED = saved

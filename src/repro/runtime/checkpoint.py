@@ -68,7 +68,7 @@ import numpy as np
 
 from . import transport as _transport
 from .trace import TraceEvent
-from .transport import copy_payload
+from .transport import LogRecord, MessageLog, copy_payload
 
 __all__ = [
     "CheckpointPolicy",
@@ -169,17 +169,10 @@ class Snapshot:
     ordinal: int = 0
 
 
-@dataclass
-class _Delivery:
-    """One logical message observed entering a mailbox."""
-
-    src: Tuple[int, ...]
-    seq: Optional[int]
-    tag: tuple
-    payload: List[float]
-    arrival: float
-    sender_pc: int
-    checksum: Optional[int] = None
+#: one logical message observed entering a mailbox -- now the sender
+#: log's :class:`~.transport.LogRecord` (payload + determinants), kept
+#: under its historical name for the rollback machinery
+_Delivery = LogRecord
 
 
 @dataclass
@@ -207,9 +200,8 @@ class CheckpointStore:
         policy: Optional[CheckpointPolicy] = None,
         plan=None,
         digests: bool = False,
+        log_bytes_cap: Optional[int] = None,
     ):
-        import threading
-
         self.policy = policy or CheckpointPolicy()
         self.plan = plan
         self.digests = digests
@@ -222,8 +214,10 @@ class CheckpointStore:
         self.snapshots: Dict[Tuple[int, ...], Snapshot] = {}
         self.history: Dict[Tuple[int, ...], List[Snapshot]] = {}
         self.recv_logs: Dict[Tuple[int, ...], List[_Recv]] = {}
-        self._deliveries: Dict[Tuple[Tuple[int, ...], tuple], _Delivery] = {}
-        self._dlock = threading.Lock()
+        #: the sender-based message log: every delivered payload plus
+        #: its determinants, the substrate of both rollback modes'
+        #: re-injection (and of ``recovery="local"``'s replay server)
+        self.log = MessageLog(bytes_cap=log_bytes_cap)
         self._ordinals: Dict[Tuple[int, ...], int] = {}
         self.checkpoints_taken = 0
         self.words_checkpointed = 0
@@ -277,7 +271,26 @@ class CheckpointStore:
         self.snapshots[proc.myp] = snap
         if self.keep_history:
             self.history.setdefault(proc.myp, []).append(snap)
+        else:
+            # commit point: cuts only move forward from here, so every
+            # logged message to this rank that the new cut proves dead
+            # (consumed at or before it, or captured in its stash) can
+            # never be re-injected again -- truncate the sender log.
+            # With snapshot history retained (checkpoint corruption),
+            # an older cut may still need them, so keep everything.
+            self._truncate_message_log(proc.myp, snap)
         return snap
+
+    def _truncate_message_log(self, myp, snap: Snapshot) -> None:
+        """Drop sender-log entries the committed cut makes unreachable."""
+        consumed = {
+            rec.tag
+            for rec in self.recv_logs.get(myp, ())
+            if rec.pc <= snap.pc
+        }
+        dead = consumed | set(snap.stash)
+        if dead:
+            self.log.truncate(myp, dead)
 
     def baseline(self, proc) -> Snapshot:
         """The implicit pc=0 checkpoint: initial state, free of charge.
@@ -321,27 +334,13 @@ class CheckpointStore:
     def log_delivery(self, dest: Tuple[int, ...], envelope) -> None:
         """Record one logical message entering ``dest``'s mailbox.
 
-        Keyed by ``(dest, tag)``: retransmitted/duplicated copies of a
-        logical message carry the same tag and payload, so the first
-        *valid* copy wins and the log stays one-entry-per-message.  A
-        checksum-failing copy must never enter the log: the receiver
-        will discard it, but a rollback would re-inject the logged
-        bytes as truth -- the retransmitted clean copy is the one that
-        gets recorded."""
-        if not envelope.verify():
-            return
-        key = (tuple(dest), envelope.tag)
-        with self._dlock:
-            if key not in self._deliveries:
-                self._deliveries[key] = _Delivery(
-                    src=tuple(envelope.src),
-                    seq=envelope.seq,
-                    tag=envelope.tag,
-                    payload=copy_payload(envelope.payload),
-                    arrival=envelope.arrival,
-                    sender_pc=envelope.sender_pc,
-                    checksum=envelope.checksum,
-                )
+        Delegates to the sender-based :class:`~.transport.MessageLog`:
+        first valid copy wins, determinants (src, seq, sender_pc,
+        per-receiver delivery order) travel with the payload, and a
+        configured byte cap surfaces as a structured
+        :class:`~.transport.LogOverflowError` in the sender's context.
+        """
+        self.log.record(dest, envelope)
 
     def log_recv(self, myp: Tuple[int, ...], pc: int, tag: tuple,
                  payload: List[float]) -> None:
@@ -403,12 +402,23 @@ class CheckpointStore:
     def truncate_recv_logs(self) -> None:
         """Drop log entries past each processor's cut; the aborted
         incarnation's suffix will be re-consumed (and re-logged) live."""
-        for myp, log in self.recv_logs.items():
-            snap = self.snapshots.get(myp)
-            cut = snap.pc if snap is not None else 0
-            keep = [rec for rec in log if rec.pc <= cut]
-            if len(keep) != len(log):
-                self.recv_logs[myp] = keep
+        for myp in list(self.recv_logs):
+            self.truncate_recv_log(myp)
+
+    def truncate_recv_log(self, myp: Tuple[int, ...]) -> None:
+        """Per-rank variant: drop ``myp``'s receive-log entries past its
+        cut.  Local recovery restarts one rank only, so only that
+        rank's aborted suffix is re-consumed live; every other rank's
+        log keeps growing undisturbed."""
+        myp = tuple(myp)
+        log = self.recv_logs.get(myp)
+        if not log:
+            return
+        snap = self.snapshots.get(myp)
+        cut = snap.pc if snap is not None else 0
+        keep = [rec for rec in log if rec.pc <= cut]
+        if len(keep) != len(log):
+            self.recv_logs[myp] = keep
 
     def reinjections(self, dest: Tuple[int, ...]) -> List[_Delivery]:
         """Messages that crossed ``dest``'s cut: delivered in a past
@@ -426,12 +436,7 @@ class CheckpointStore:
             if rec.pc <= snap.pc
         }
         out = []
-        with self._dlock:
-            records = [
-                rec for (d, _tag), rec in self._deliveries.items()
-                if d == dest
-            ]
-        for rec in records:
+        for rec in self.log.records_for(dest):
             sender_snap = self.snapshots.get(rec.src)
             sender_cut = sender_snap.pc if sender_snap is not None else 0
             if rec.sender_pc > sender_cut:
@@ -440,6 +445,38 @@ class CheckpointStore:
                 continue
             out.append(rec)
         out.sort(key=lambda rec: (rec.arrival, repr(rec.tag)))
+        return out
+
+    def local_reinjections(self, dest: Tuple[int, ...]) -> List[_Delivery]:
+        """The replay set for a **local** recovery of ``dest``.
+
+        Unlike the coordinated :meth:`reinjections`, the live ranks
+        never re-execute, so *no* send will re-happen -- the
+        ``sender_pc``-vs-sender-cut filter does not apply.  Every
+        logged message to ``dest`` that its own cut has not consumed
+        (and that its restored stash does not already hold) must be
+        re-served from the sender log.  Messages the restarted rank
+        will itself re-send past its cut are duplicates at their
+        receivers, absorbed by ARQ sequence dedup (the restored
+        ``_next_seq`` reuses the original sequence numbers) or by the
+        tag-keyed stash's idempotent overwrite on the direct channel.
+
+        Sorted by ``(arrival, order)``: the recorded per-receiver
+        delivery order, deterministic on the single-threaded backends.
+        """
+        dest = tuple(dest)
+        snap = self.snapshots[dest]
+        consumed = {
+            rec.tag
+            for rec in self.recv_logs.get(dest, ())
+            if rec.pc <= snap.pc
+        }
+        out = [
+            rec
+            for rec in self.log.records_for(dest)
+            if rec.tag not in consumed and rec.tag not in snap.stash
+        ]
+        out.sort(key=lambda rec: (rec.arrival, rec.order, repr(rec.tag)))
         return out
 
     # -- reporting -----------------------------------------------------------

@@ -317,6 +317,20 @@ class ProgressMonitor:
             self._drain_locked(myp)
             self._check_locked()
 
+    def replace_proc(self, myp, fresh) -> None:
+        """Swap in a freshly restored incarnation of ``myp`` (local
+        recovery).  The old incarnation's mailbox is drained -- every
+        copy parked there is also in the sender log and will be
+        re-injected by the caller -- and the swap happens under the
+        same lock :meth:`deliver_envelope` takes, so a concurrent
+        sender either lands in the old mailbox (drained here, then
+        re-served from the log) or in the fresh one (the re-served
+        duplicate is absorbed by ARQ dedup / the tag-keyed stash).
+        Either way the copy stays counted exactly once."""
+        with self._lock:
+            self._drain_locked(myp)
+            self.machine.procs[myp] = fresh
+
     def _drain_locked(self, myp: Tuple[int, ...]) -> None:
         proc = self.machine.procs.get(myp)
         if proc is None:

@@ -303,6 +303,16 @@ class RunResult:
     #: scheduler wakeups (coroutine resumes) across incarnations;
     #: None on the threaded backend, which has no scheduler
     sched_wakeups: Optional[int] = None
+    #: model time of completed work discarded by crashes: for every
+    #: rank a rollback rewound, the distance from its rollback cut to
+    #: the clock it had reached.  Global rollback pays this for all P
+    #: ranks per crash; local recovery only for the crashed one
+    work_wasted: float = 0.0
+    #: high-water mark of the sender-side message log, in bytes
+    #: (volatile sender memory held for localized recovery)
+    log_bytes_peak: int = 0
+    #: the recovery mode this run executed under
+    recovery_mode: str = "global"
 
     @property
     def events_per_sec(self) -> float:
@@ -927,11 +937,18 @@ class Machine:
         backend: str = "threads",
         trace: Union[bool, TraceBuffer, None] = None,
         checksums: Optional[bool] = None,
+        recovery: str = "global",
+        log_bytes_cap: Optional[int] = None,
     ):
         if backend not in ("threads", "coop", "event"):
             raise ValueError(
                 f"unknown backend {backend!r} "
                 f"(expected 'threads', 'coop' or 'event')"
+            )
+        if recovery not in ("global", "local"):
+            raise ValueError(
+                f"unknown recovery mode {recovery!r} "
+                f"(expected 'global' or 'local')"
             )
         self.backend = backend
         #: event trace: None (off, the default -- observably free),
@@ -1000,11 +1017,27 @@ class Machine:
             self.transport.checksummed = True
         self.checkpoint_policy = checkpoint
         self.max_restarts = max_restarts
+        #: recovery discipline after a fail-stop crash: "global" rolls
+        #: every rank back to its cut (PR 3); "local" restarts only the
+        #: crashed rank, re-serving its messages from the sender log
+        self.recovery = recovery
+        #: optional per-channel cap (bytes) on the sender message log;
+        #: exceeding it raises a structured LogOverflowError
+        self.log_bytes_cap = log_bytes_cap
         #: live only while a crash-tolerant run is in progress; None on
         #: the default path so checkpointing costs nothing when unused
         self.checkpoints: Optional[CheckpointStore] = None
         self._fired_crashes: set = set()
         self._crash_lock = threading.Lock()
+        #: serializes concurrent local recoveries (threads backend)
+        self._recovery_lock = threading.Lock()
+        # supervision counters, machine-level so both the run() loop
+        # (global) and _local_recover (local, possibly concurrent) can
+        # accumulate into them
+        self._restarts = 0
+        self._recovery_time = 0.0
+        self._work_wasted = 0.0
+        self._crash_events: List[CrashEvent] = []
 
     def _arm_crash(self, myp: Tuple[int, ...]) -> bool:
         """Claim a scheduled crash for ``myp``; True exactly once per
@@ -1187,6 +1220,7 @@ class Machine:
                 self.checkpoint_policy,
                 plan=self.fault_plan,
                 digests=self.checksums_enabled,
+                log_bytes_cap=self.log_bytes_cap,
             )
             if want_store
             else None
@@ -1214,9 +1248,10 @@ class Machine:
                 self.trace.register(myp)
         self.monitor.reset(total=len(self.procs))
 
-        restarts = 0
-        recovery_time = 0.0
-        crash_events: List[CrashEvent] = []
+        self._restarts = 0
+        self._recovery_time = 0.0
+        self._work_wasted = 0.0
+        self._crash_events = []
         self._sched_wakeups = None
         wall_start = time.perf_counter()
         while True:
@@ -1228,35 +1263,50 @@ class Machine:
             if not crashes:
                 self._raise_failures(failures)
                 break
-            events = [
-                CrashEvent(
-                    myp=exc.myp,
-                    model_time=exc.model_time,
-                    op_index=exc.op_index,
-                    incarnation=exc.incarnation,
-                    cause=exc.cause,
+            if self.recovery == "local":
+                # every recoverable crash was already handled in place
+                # by _local_recover (which records the event and emits
+                # the trace marker); a ProcessorCrashed surfacing here
+                # means the restart budget is spent, there is no store,
+                # or the program ran outside the driver (plain node_fn)
+                recorded = {
+                    (e.myp, e.model_time, e.op_index, e.incarnation)
+                    for e in self._crash_events
+                }
+                for exc in crashes:
+                    key = (
+                        exc.myp, exc.model_time,
+                        exc.op_index, exc.incarnation,
+                    )
+                    if key not in recorded:
+                        self._record_crash(exc)
+                report = self._build_crash_report(
+                    self._crash_events, self._restarts
                 )
-                for exc in crashes
-            ]
-            crash_events.extend(events)
-            if self.trace is not None:
-                for event in events:
-                    self.trace.emit(TraceEvent(
-                        kind="crash", rank=event.myp,
-                        start=event.model_time, end=event.model_time,
-                        incarnation=event.incarnation, note=event.cause,
-                    ))
-            if self.checkpoints is None or restarts >= self.max_restarts:
-                report = self._build_crash_report(crash_events, restarts)
                 dead = ", ".join(str(myp) for myp in report.dead)
                 raise CrashError(
-                    f"crash recovery gave up after {restarts} restart(s) "
-                    f"(budget {self.max_restarts}); dead processor(s): "
-                    f"{dead}",
+                    f"local recovery gave up after {self._restarts} "
+                    f"restart(s) (budget {self.max_restarts}); dead "
+                    f"processor(s): {dead}",
                     report=report,
                 )
-            restarts += 1
-            recovery_time += self._rollback(events, restarts)
+            events = [self._record_crash(exc) for exc in crashes]
+            if (
+                self.checkpoints is None
+                or self._restarts >= self.max_restarts
+            ):
+                report = self._build_crash_report(
+                    self._crash_events, self._restarts
+                )
+                dead = ", ".join(str(myp) for myp in report.dead)
+                raise CrashError(
+                    f"crash recovery gave up after {self._restarts} "
+                    f"restart(s) (budget {self.max_restarts}); dead "
+                    f"processor(s): {dead}",
+                    report=report,
+                )
+            self._restarts += 1
+            self._recovery_time += self._rollback(events, self._restarts)
 
         wall_seconds = time.perf_counter() - wall_start
         store = self.checkpoints
@@ -1267,17 +1317,40 @@ class Machine:
             makespan=max(proc.clock for proc in self.procs.values()),
             total_messages=sum(s.messages_sent for s in stats.values()),
             total_words=sum(s.words_sent for s in stats.values()),
-            restarts=restarts,
-            recovery_time=recovery_time,
+            restarts=self._restarts,
+            recovery_time=self._recovery_time,
             checkpoints=store.checkpoints_taken if store else 0,
-            crash_events=crash_events,
+            crash_events=list(self._crash_events),
             snapshots_rejected=store.snapshots_rejected if store else 0,
             clocks={myp: proc.clock for myp, proc in self.procs.items()},
             trace=self.trace,
             wall_seconds=wall_seconds,
             sim_events=sum(proc._pc for proc in self.procs.values()),
             sched_wakeups=self._sched_wakeups,
+            work_wasted=self._work_wasted,
+            log_bytes_peak=store.log.bytes_peak if store else 0,
+            recovery_mode=self.recovery,
         )
+
+    def _record_crash(self, exc: ProcessorCrashed) -> CrashEvent:
+        """Append one observed crash to the run's event list and emit
+        its trace marker.  Called by the global supervision loop and by
+        :meth:`_local_recover` (under its lock)."""
+        event = CrashEvent(
+            myp=exc.myp,
+            model_time=exc.model_time,
+            op_index=exc.op_index,
+            incarnation=exc.incarnation,
+            cause=exc.cause,
+        )
+        self._crash_events.append(event)
+        if self.trace is not None:
+            self.trace.emit(TraceEvent(
+                kind="crash", rank=event.myp,
+                start=event.model_time, end=event.model_time,
+                incarnation=event.incarnation, note=event.cause,
+            ))
+        return event
 
     def _run_incarnation(
         self, node_fn: Callable
@@ -1302,8 +1375,23 @@ class Machine:
         def runner(proc: Processor):
             clean = False
             try:
-                drive_node(node_fn, proc)
-                clean = True
+                while True:
+                    try:
+                        drive_node(node_fn, proc)
+                        clean = True
+                        break
+                    except ProcessorCrashed as exc:
+                        # local recovery restarts only this rank, on
+                        # this same thread; every other rank keeps
+                        # running undisturbed
+                        if self.recovery != "local":
+                            raise
+                        fresh = self._local_recover(exc)
+                        if fresh is None:
+                            with failures_lock:
+                                failures.append((proc.myp, exc))
+                            break
+                        proc = fresh
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 with failures_lock:
                     failures.append((proc.myp, exc))
@@ -1369,11 +1457,16 @@ class Machine:
                         ),
                     ))
         store.truncate_recv_logs()
+        self._scrub_pools()
         cost = self.cost
         recovered = 0.0
         fresh: Dict[Tuple[int, ...], Processor] = {}
         for myp, old in self.procs.items():
             snap = store.snapshots[myp]
+            # everything this rank computed past its cut is discarded
+            # and will be re-executed: the O(P) cost of a coordinated
+            # rollback that localized recovery avoids
+            self._work_wasted += max(0.0, old.clock - snap.clock)
             # nobody resumes before the failure was detected; everyone
             # pays the restart penalty and the snapshot reload
             resume = (
@@ -1419,6 +1512,107 @@ class Machine:
                     ),
                 )
         return recovered
+
+    def _local_recover(
+        self, exc: ProcessorCrashed
+    ) -> Optional[Processor]:
+        """Localized recovery: restart only the crashed rank.
+
+        Built on sender-based message logging (DESIGN.md §14): every
+        delivery was logged -- payload plus determinants (src, seq,
+        per-receiver delivery order) -- in volatile sender memory, so
+        the crashed rank can be restored from its own latest
+        digest-valid snapshot and replayed *without* touching any live
+        rank.  Its pre-cut receives come from the receive log (the
+        deterministic fast-forward of PR 3), its post-cut messages are
+        re-served from the sender log in recorded delivery order, and
+        the duplicates of its own re-executed sends are absorbed at
+        the receivers by ARQ sequence dedup / the tag-keyed stash.
+
+        Returns the fresh incarnation (already swapped into ``procs``
+        and monitor-visible), or None when recovery cannot proceed (no
+        checkpoint store or the restart budget is spent) -- the caller
+        then surfaces the crash as a failure.  Serialized by
+        ``_recovery_lock``: concurrent crashes on the threads backend
+        recover one at a time, each touching only its own rank's state.
+        """
+        with self._recovery_lock:
+            myp = self.canon(exc.myp)
+            self._record_crash(exc)
+            store = self.checkpoints
+            if store is None or self._restarts >= self.max_restarts:
+                return None
+            self._restarts += 1
+            snap, rejected = store.resolve_valid(myp)
+            for bad in rejected:
+                if self.trace is not None:
+                    self.trace.emit(TraceEvent(
+                        kind="snapshot-corrupt", rank=myp,
+                        start=exc.model_time, end=exc.model_time,
+                        incarnation=exc.incarnation,
+                        note=(
+                            f"snapshot at op {bad.pc} (ordinal "
+                            f"{bad.ordinal}) failed digest verification"
+                        ),
+                    ))
+            store.truncate_recv_log(myp)
+            cost = self.cost
+            resume = (
+                max(snap.clock, exc.model_time)
+                + cost.restart_penalty
+                + cost.checkpoint_word_time * snap.words
+            )
+            self._recovery_time += resume - snap.clock
+            self._work_wasted += max(0.0, exc.model_time - snap.clock)
+            incarnation = exc.incarnation + 1
+            if self.trace is not None:
+                self.trace.emit(TraceEvent(
+                    kind="restart", rank=myp, start=snap.clock, end=resume,
+                    incarnation=incarnation,
+                    note=f"local rollback to op {snap.pc}",
+                ))
+            proc = Processor(
+                self,
+                myp,
+                {name: arr.copy() for name, arr in snap.arrays.items()},
+            )
+            if self._stats_block is not None:
+                view = self._stats_block.view(self.rank_id[myp])
+                view.reset()
+                proc.stats = view
+            proc._incarnation = incarnation
+            proc._ff_target = snap.pc
+            proc._resume_clock = resume
+            self._scrub_pools()
+            # swap + old-mailbox drain are atomic with deliveries, so
+            # no copy is lost or double-counted across the incarnation
+            # boundary; then re-serve the sender-logged messages the
+            # fresh incarnation still needs, in recorded delivery order
+            self.monitor.replace_proc(myp, proc)
+            for rec in store.local_reinjections(myp):
+                self.monitor.deliver_envelope(
+                    myp,
+                    Envelope(
+                        rec.src, rec.seq, rec.tag, copy_payload(rec.payload),
+                        rec.arrival, rec.sender_pc, rec.checksum,
+                    ),
+                )
+            if snap.pc == 0:
+                # no fast-forward will run, so apply the snapshot now
+                proc._restore()
+            return proc
+
+    def _scrub_pools(self) -> None:
+        """Evict any envelope shell that still holds a payload from the
+        recycling pool (pool hygiene across incarnations).  Correct
+        recycling always nulls the payload first, so this is a
+        defensive invariant sweep on the crash paths: a shell recycled
+        live can never re-serve a dead incarnation's stale words."""
+        pool = self._envelope_pool
+        if pool:
+            live = [env for env in pool if env.payload is None]
+            if len(live) != len(pool):
+                pool[:] = live
 
     def _build_crash_report(
         self, events: List[CrashEvent], restarts: int

@@ -67,6 +67,7 @@ import time
 from typing import Callable, Dict, List, Tuple
 
 from .diagnostics import WAKE, DeadlockError
+from .faults import ProcessorCrashed
 
 __all__ = ["CoopScheduler", "EventScheduler"]
 
@@ -85,6 +86,9 @@ class CoopScheduler:
         #: myp -> (tag, mc_flag) for a parked receive
         self.waiting: Dict[Tuple[int, ...], Tuple[tuple, bool]] = {}
         self.gens: Dict[Tuple[int, ...], object] = {}
+        #: the node program, kept for re-instantiating a locally
+        #: recovered rank's coroutine
+        self._node_fn: Callable | None = None
         #: coroutine resumes ("scheduler wakeups"), surfaced by the run
         #: summary's throughput line
         self.steps = 0
@@ -107,6 +111,7 @@ class CoopScheduler:
         if not inspect.isgeneratorfunction(node_fn):
             return self._run_plain(node_fn)
 
+        self._node_fn = node_fn
         procs = machine.procs
         gens = self.gens
         ready = self.ready
@@ -203,9 +208,36 @@ class CoopScheduler:
                 return
         except StopIteration:
             machine.monitor.finish(myp, clean=True)
+        except ProcessorCrashed as exc:
+            if not self._recover_local(myp, exc):
+                self.failures.append((myp, exc))
+                machine.monitor.finish(myp, clean=False)
         except BaseException as exc:  # noqa: BLE001 - surfaced by Machine.run
             self.failures.append((myp, exc))
             machine.monitor.finish(myp, clean=False)
+
+    def _recover_local(self, myp: Tuple[int, ...], exc) -> bool:
+        """Localized recovery: restart only the crashed rank.
+
+        Under ``recovery="local"`` the machine restores ``myp`` from
+        its own latest valid snapshot (live ranks are untouched),
+        re-injects the sender-logged messages it still needs, and
+        hands back a fresh :class:`~.machine.Processor`.  The crashed
+        rank's coroutine is re-instantiated and seeded runnable; its
+        checkpoint fast-forward replay then runs entirely inside its
+        next ``_step``.  Returns False when local recovery does not
+        apply (global mode, no checkpoint store, restart budget
+        exhausted) -- the caller falls through to the fail path.
+        """
+        machine = self.machine
+        if machine.recovery != "local":
+            return False
+        fresh = machine._local_recover(exc)
+        if fresh is None:
+            return False
+        self.gens[myp] = self._node_fn(fresh)
+        self._unpark(myp, _START)
+        return True
 
     # -- mailbox handling ----------------------------------------------------
 
@@ -323,6 +355,7 @@ class EventScheduler(CoopScheduler):
         if not inspect.isgeneratorfunction(node_fn):
             return self._run_plain(node_fn)
 
+        self._node_fn = node_fn
         procs = machine.procs
         gens = self.gens
         heap = self._heap

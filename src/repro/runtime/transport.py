@@ -63,9 +63,10 @@ stays bit-identical to the pre-corruption-era goldens.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from hashlib import blake2b
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -76,6 +77,9 @@ __all__ = [
     "CorruptionError",
     "DirectTransport",
     "Envelope",
+    "LogOverflowError",
+    "LogRecord",
+    "MessageLog",
     "ReliableTransport",
     "Transport",
     "TransportError",
@@ -172,6 +176,157 @@ class Envelope:
         if self.checksum is None or _VERIFY_DISABLED:
             return True
         return payload_checksum(self.payload) == self.checksum
+
+
+class LogOverflowError(TransportError):
+    """A channel's sender-side message log exceeded its byte cap.
+
+    Sender-based message logging (``recovery="local"``) keeps every
+    outgoing payload in volatile sender memory until the receiver's
+    next checkpoint commit truncates it.  Under stall/reorder storms --
+    or with checkpointing disabled -- that log would otherwise grow
+    without bound; a configured ``log_bytes_cap`` turns the unbounded
+    growth into this structured diagnostic, carrying the channel
+    coordinates and the sizes an operator needs to re-tune the cap or
+    the checkpoint cadence.
+    """
+
+    def __init__(self, src, dest, logged_bytes, cap):
+        self.src = tuple(src)
+        self.dest = tuple(dest)
+        self.logged_bytes = logged_bytes
+        self.cap = cap
+        super().__init__(
+            f"sender message log overflow on channel {self.src} -> "
+            f"{self.dest}: {logged_bytes} logged bytes exceed the "
+            f"{cap}-byte cap -- checkpoint more often (truncation "
+            f"happens at checkpoint commit) or raise log_bytes_cap"
+        )
+
+
+@dataclass
+class LogRecord:
+    """One logical message retained in a sender-side log.
+
+    Payload plus **determinants**: the source, the per-channel sequence
+    number, the sending operation index, and ``order`` -- the
+    per-receiver delivery ordinal recorded when the first valid copy of
+    the message entered the receiver's mailbox.  Local recovery
+    re-serves logged messages to a restarted rank sorted by
+    ``(arrival, order)``, reproducing the recorded delivery order on
+    the deterministic single-threaded backends.
+    """
+
+    src: Tuple[int, ...]
+    seq: Optional[int]
+    tag: tuple
+    payload: List[float]
+    arrival: float
+    sender_pc: int
+    checksum: Optional[int] = None
+    order: int = 0
+
+
+#: bytes per payload word -- everything crosses the wire as float64
+_WORD_BYTES = 8
+
+
+class MessageLog:
+    """Sender-based message log: every valid delivered payload plus its
+    determinants, retained in volatile memory until checkpoint commit.
+
+    Keyed by ``(dest, tag)``: retransmitted/duplicated copies of one
+    logical message carry the same tag and payload, so the first
+    *valid* copy wins and the log stays one-entry-per-message (exactly
+    the dedup the delivery log has always applied).  Per-channel byte
+    accounting enforces an optional ``bytes_cap`` -- a channel that
+    exceeds it raises :class:`LogOverflowError` in the sending
+    processor's context instead of growing without bound -- and
+    ``bytes_peak`` is surfaced on ``RunResult.log_bytes_peak`` so the
+    memory price of localized recovery is measurable, not just its
+    benefit.
+    """
+
+    def __init__(self, bytes_cap: Optional[int] = None):
+        if bytes_cap is not None and bytes_cap <= 0:
+            raise ValueError(f"bytes_cap must be positive, got {bytes_cap!r}")
+        self.bytes_cap = bytes_cap
+        self._records: Dict[Tuple[Tuple[int, ...], tuple], LogRecord] = {}
+        self._lock = threading.Lock()
+        #: live logged bytes per (src, dest) channel
+        self.channel_bytes: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]], int
+        ] = {}
+        #: per-receiver delivery ordinal counters (the determinants)
+        self._orders: Dict[Tuple[int, ...], int] = {}
+        self.bytes_total = 0
+        self.bytes_peak = 0
+
+    def record(self, dest: Tuple[int, ...], envelope) -> None:
+        """Log one logical message entering ``dest``'s mailbox.
+
+        A checksum-failing copy must never enter the log: the receiver
+        will discard it, but recovery would re-inject the logged bytes
+        as truth -- the retransmitted clean copy is the one recorded.
+        """
+        if not envelope.verify():
+            return
+        dest = tuple(dest)
+        key = (dest, envelope.tag)
+        src = tuple(envelope.src)
+        with self._lock:
+            if key in self._records:
+                return
+            size = len(envelope.payload) * _WORD_BYTES
+            channel = (src, dest)
+            logged = self.channel_bytes.get(channel, 0) + size
+            if self.bytes_cap is not None and logged > self.bytes_cap:
+                raise LogOverflowError(src, dest, logged, self.bytes_cap)
+            order = self._orders.get(dest, 0)
+            self._orders[dest] = order + 1
+            self._records[key] = LogRecord(
+                src=src,
+                seq=envelope.seq,
+                tag=envelope.tag,
+                payload=copy_payload(envelope.payload),
+                arrival=envelope.arrival,
+                sender_pc=envelope.sender_pc,
+                checksum=envelope.checksum,
+                order=order,
+            )
+            self.channel_bytes[channel] = logged
+            self.bytes_total += size
+            if self.bytes_total > self.bytes_peak:
+                self.bytes_peak = self.bytes_total
+
+    def records_for(self, dest: Tuple[int, ...]) -> List[LogRecord]:
+        """Every logged message destined to ``dest`` (unsorted)."""
+        dest = tuple(dest)
+        with self._lock:
+            return [
+                rec for (d, _tag), rec in self._records.items() if d == dest
+            ]
+
+    def truncate(self, dest: Tuple[int, ...], dead_tags) -> int:
+        """Drop logged messages to ``dest`` whose tags are provably
+        dead (consumed at or before the receiver's committed cut, or
+        captured in its snapshot stash).  Called at checkpoint commit;
+        returns the number of entries dropped."""
+        dest = tuple(dest)
+        dropped = 0
+        with self._lock:
+            for tag in dead_tags:
+                rec = self._records.pop((dest, tag), None)
+                if rec is None:
+                    continue
+                size = len(rec.payload) * _WORD_BYTES
+                channel = (rec.src, dest)
+                self.channel_bytes[channel] = (
+                    self.channel_bytes.get(channel, 0) - size
+                )
+                self.bytes_total -= size
+                dropped += 1
+        return dropped
 
 
 class Transport:

@@ -36,6 +36,8 @@ def run_spmd(
     backend: str = "threads",
     trace=None,
     checksums: Optional[bool] = None,
+    recovery: str = "global",
+    log_bytes_cap: Optional[int] = None,
 ) -> RunResult:
     """Execute a generated SPMD program on the simulator.
 
@@ -52,6 +54,11 @@ def run_spmd(
     ``RunResult.trace``; off by default and observably free.
     ``checksums`` forces self-checking transports on/off (``None`` =
     auto: on exactly when the plan can corrupt payloads/snapshots).
+    ``recovery`` selects the crash-recovery discipline: ``"global"``
+    rolls every rank back to its checkpoint, ``"local"`` restarts only
+    the crashed rank from the sender message log; ``log_bytes_cap``
+    bounds that log per channel (structured
+    :class:`~.transport.LogOverflowError` on overflow).
     Defaults keep the historical zero-overhead direct channel.
     """
     machine = Machine(
@@ -68,6 +75,8 @@ def run_spmd(
         backend=backend,
         trace=trace,
         checksums=checksums,
+        recovery=recovery,
+        log_bytes_cap=log_bytes_cap,
     )
     return machine.run(spmd.node, initial_data=initial_data, seed=seed)
 
@@ -90,6 +99,8 @@ def check_against_sequential(
     backend: str = "threads",
     trace=None,
     checksums: Optional[bool] = None,
+    recovery: str = "global",
+    log_bytes_cap: Optional[int] = None,
 ) -> RunResult:
     """Run and assert correctness; returns the RunResult on success.
 
@@ -120,6 +131,8 @@ def check_against_sequential(
         backend=backend,
         trace=trace,
         checksums=checksums,
+        recovery=recovery,
+        log_bytes_cap=log_bytes_cap,
     )
     writers = live_out_writes(program, params)
     space = spmd.space
