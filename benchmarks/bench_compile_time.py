@@ -6,11 +6,26 @@ Write Trees, communication sets, optimization, scanning, merging,
 Python emission) must finish well inside that budget here.
 """
 
+from repro.polyhedra import (
+    diskcache,
+    feasibility_cache_clear,
+    projection_cache_clear,
+)
 from workloads import lu_compiled
 
 
+def _cold_compile():
+    """A true cold compile: no persistent store, in-memory caches
+    cleared, so the measurement stays comparable as cache tiers grow
+    (the service benchmark measures the cached paths)."""
+    assert diskcache.active() is None
+    projection_cache_clear()
+    feasibility_cache_clear()
+    return lu_compiled()[2]
+
+
 def test_compile_time(benchmark, report):
-    spmd = benchmark(lambda: lu_compiled()[2])
+    spmd = benchmark(_cold_compile)
     mean = benchmark.stats.stats.mean
     report("C3: LU end-to-end compile time (paper Section 7)")
     report(f"paper:    2.9 s (on 1993 hardware)")

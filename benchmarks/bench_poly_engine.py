@@ -69,9 +69,16 @@ def shipped_engine():
 
 
 def _save(key, payload):
+    """Read-modify-write: preserve sections other benches own (the
+    compile-service replay writes ``compile_service`` into this file)."""
     _RESULTS[key] = payload
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as fh:
+            data = json.load(fh)
+    data.update(_RESULTS)
     with open(BENCH_JSON, "w") as fh:
-        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+        json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
 

@@ -1,8 +1,10 @@
 """The paper's workloads, shared by every benchmark."""
 
 from repro import block_loop, generate_spmd, onto, parse
+from repro.codegen import SPMDOptions
 from repro.polyhedra import var
 from repro.runtime import CostModel
+from repro.service import CompileJob
 
 FIG2_SRC = """
 array X[N + 1]
@@ -96,6 +98,41 @@ def lu_compiled(options=None):
     comps = {"s1": onto(s1, [var("i2")])}
     comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
     return program, comps, generate_spmd(program, comps, options=options)
+
+
+def service_job(workload, block=16, vectorize=False):
+    """One :class:`repro.service.CompileJob` for a conformance workload.
+
+    The five workloads are the same programs and decompositions the
+    conformance suites pin; ``block`` (ignored for LU, which maps
+    ``onto`` rows) and ``vectorize`` vary the request so a catalog of
+    distinct compile jobs can be drawn from them.
+    """
+    options = SPMDOptions(vectorize=vectorize)
+    tag = f"{workload}/b{block}" + ("v" if vectorize else "")
+    if workload == "lu":
+        program = parse(LU_SRC, name="lu")
+        s1 = program.statement("s1")
+        s2 = program.statement("s2")
+        comps = {"s1": onto(s1, [var("i2")])}
+        comps["s2"] = onto(s2, [var("i2")], space=comps["s1"].space)
+        return CompileJob(program, comps, options=options, label=tag)
+    if workload == "pipe":
+        program = parse(PIPE_SRC, name="pipe")
+        s1 = program.statement("s1")
+        s2 = program.statement("s2")
+        comps = {"s1": block_loop(s1, ["i"], [block])}
+        comps["s2"] = block_loop(
+            s2, ["j"], [block], space=comps["s1"].space
+        )
+        return CompileJob(program, comps, options=options, label=tag)
+    src = {"fig2": FIG2_SRC, "fig8": FIG8_SRC, "stencil": STENCIL_SRC}[
+        workload
+    ]
+    program = parse(src, name=workload)
+    stmt = program.statements()[0]
+    comps = {stmt.name: block_loop(stmt, ["i"], [block])}
+    return CompileJob(program, comps, options=options, label=tag)
 
 
 def stencil_compiled(block_size=32, options=None, n=None, p=None):

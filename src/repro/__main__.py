@@ -95,7 +95,9 @@ def cmd_compile(args) -> int:
         aggregate=not args.no_aggregate,
         multicast=not args.no_multicast,
     )
-    result = compile_distributed(program, comps, options=options)
+    result = compile_distributed(
+        program, comps, options=options, cache_dir=args.cache_dir
+    )
     if args.emit == "python":
         print(result.spmd.source)
     else:
@@ -103,10 +105,49 @@ def cmd_compile(args) -> int:
     if args.poly_stats:
         print(poly_stats.summary(result.poly_stats), file=sys.stderr)
         print(
-            f"  compile time:           {result.compile_seconds:.3f}s",
+            f"  compile time:           {result.compile_seconds:.3f}s"
+            f"{' (cached result)' if result.from_cache else ''}",
             file=sys.stderr,
         )
+    if args.cache_dir:
+        from .polyhedra import diskcache
+
+        cache = diskcache.DiskCache(args.cache_dir)
+        print(diskcache.summarize_cache(cache.stats()), file=sys.stderr)
     return 0
+
+
+def cmd_cache(args) -> int:
+    from .polyhedra import diskcache
+
+    cache = diskcache.DiskCache(args.cache_dir, max_bytes=args.max_bytes)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.path}")
+        return 0
+    info = cache.gc() if args.action == "gc" else cache.stats()
+    print(f"cache at {info['path']}")
+    print(f"  entries:     {info['entries']}")
+    print(f"  bytes:       {info['bytes']} (cap {info['max_bytes']})")
+    print(f"  fingerprint: {info['fingerprint']}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .service import CompileServer, serve_stdio, serve_tcp
+
+    server = CompileServer(
+        cache_dir=args.cache_dir, max_bytes=args.cache_max_bytes
+    )
+    if args.port is None:
+        return serve_stdio(server)
+    return serve_tcp(
+        server, args.host, args.port,
+        announce=lambda port: print(
+            f"repro serve: listening on {args.host}:{port}",
+            file=sys.stderr, flush=True,
+        ),
+    )
 
 
 def _rate(text: str) -> float:
@@ -437,7 +478,58 @@ def main(argv=None) -> int:
         help="print polyhedral-engine work counters to stderr "
         "(FM pairs avoided, cache hit rates, codegen volume)",
     )
+    p_compile.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent compile cache: FM projections, feasibility "
+        "verdicts and whole results are stored content-addressed under "
+        "DIR and reused across runs (default: no persistent cache)",
+    )
     p_compile.set_defaults(fn=cmd_compile)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain a persistent compile cache"
+    )
+    p_cache.add_argument(
+        "action", choices=["stats", "clear", "gc"],
+        help="stats = occupancy and fingerprint; clear = drop every "
+        "entry; gc = enforce the byte cap now (LRU eviction)",
+    )
+    p_cache.add_argument("--cache-dir", metavar="DIR", required=True)
+    p_cache.add_argument(
+        "--max-bytes", type=_pos_int, default=None, metavar="BYTES",
+        help="byte cap used by gc (default 256 MiB)",
+    )
+    p_cache.set_defaults(fn=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived compile server (JSON lines on stdio or TCP)",
+        description="Start a compile server that keeps every cache "
+        "tier warm across requests.  Each request is one JSON object "
+        "per line ({'program': SOURCE, 'blocks': {VAR: SIZE}, "
+        "'options': {...}, 'emit': 'c'|'python'|'none'}), or a JSON "
+        "array of such objects for a batch; control ops: ping, stats, "
+        "shutdown.  Default transport is stdio; --port serves a local "
+        "TCP socket instead (0 = ephemeral).",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="share a persistent compile cache across server sessions",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes", type=_pos_int, default=None, metavar="BYTES",
+        help="persistent-cache byte cap (default 256 MiB)",
+    )
+    p_serve.add_argument(
+        "--port", type=_nonneg_int, default=None, metavar="PORT",
+        help="serve a TCP socket on --host instead of stdio "
+        "(0 binds an ephemeral port, announced on stderr)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="TCP bind address (default 127.0.0.1)",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_run = sub.add_parser("run", help="simulate and validate")
     p_run.add_argument("program")

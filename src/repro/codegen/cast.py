@@ -222,6 +222,18 @@ def fresh_buffer() -> str:
     return f"buf{next(_BUF_IDS)}"
 
 
+def reset_buffer_names() -> None:
+    """Restart buffer numbering (called per compile).
+
+    Buffer names only need to be unique within one generated node
+    program; restarting per compile makes generated source text a
+    deterministic function of the compile inputs, which the persistent
+    compile cache's bit-identity guarantee relies on.
+    """
+    global _BUF_IDS
+    _BUF_IDS = itertools.count()
+
+
 # ---------------------------------------------------------------------------
 # C-like pretty printer (Figures 7, 10, 13 style)
 # ---------------------------------------------------------------------------
@@ -1168,7 +1180,17 @@ def compile_node_program(
 ):
     """Compile a CAST tree into a generator function ``node(proc)``."""
     emitter = PyEmitter(rank, params, vectorize=vectorize)
-    src = emitter.source(tree)
+    return node_from_source(emitter.source(tree))
+
+
+def node_from_source(src: str):
+    """(Re)build the generator function ``node(proc)`` from its source.
+
+    The compile cache stores node programs as source text (closures do
+    not pickle); loading a cached :class:`~repro.codegen.spmd.SPMD`
+    re-executes the stored text through this function, which is exactly
+    how the original was built -- same namespace, same behavior.
+    """
     namespace: dict = {"_np": np, "_cat": _cat_payload}
     exec(compile(src, "<node-program>", "exec"), namespace)  # noqa: S102
     fn = namespace["node"]

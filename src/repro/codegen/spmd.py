@@ -817,6 +817,26 @@ def _build_master(
 # the driver
 # ---------------------------------------------------------------------------
 
+def _reset_fresh_name_counters() -> None:
+    """Make each compilation a deterministic function of its inputs.
+
+    Fresh names (FM/lexmax auxiliaries, uniform-family offsets, message
+    buffers) only need to be distinct within one compile; restarting
+    their counters at compile entry makes identical inputs produce
+    bit-identical artifacts and identical content-addressed cache keys
+    across repeats and across processes.
+    """
+    from ..core.group import reset_offset_names
+    from ..polyhedra.lexmax import reset_aux_names as _reset_lexmax
+    from ..polyhedra.omega import reset_aux_names as _reset_omega
+    from .cast import reset_buffer_names
+
+    reset_offset_names()
+    _reset_lexmax()
+    _reset_omega()
+    reset_buffer_names()
+
+
 def generate_spmd(
     program: Program,
     comps: Dict[str, CompDecomp],
@@ -836,6 +856,7 @@ def generate_spmd(
     the nest.
     """
     options = options or SPMDOptions()
+    _reset_fresh_name_counters()
     context = program.assumptions
     spaces = {id(c.space) for c in comps.values()}
     if len(spaces) != 1:

@@ -27,6 +27,15 @@ from .group import (
     hull_tree,
     uniform_families,
 )
+from .serialize import (
+    SCHEMA_VERSION,
+    SerializeError,
+    canonical_bytes,
+    dump_result,
+    job_key,
+    load_result,
+    results_equal,
+)
 from .finalization import finalization_comm, finalization_initial
 from .redundancy import canonicalize_senders, eliminate_self_reuse
 
@@ -34,6 +43,13 @@ __all__ = [
     "CommReport",
     "CommSet",
     "CompileResult",
+    "SCHEMA_VERSION",
+    "SerializeError",
+    "canonical_bytes",
+    "dump_result",
+    "job_key",
+    "load_result",
+    "results_equal",
     "MessagePlan",
     "RECV_SUFFIX",
     "SEND_SUFFIX",

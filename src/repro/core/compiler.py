@@ -45,6 +45,13 @@ class CompileResult:
     #: :mod:`repro.polyhedra.stats`); ``stats.summary(result.poly_stats)``
     #: renders them the way the CLI's ``--poly-stats`` flag does.
     poly_stats: Dict[str, int] = field(default_factory=dict)
+    #: artifact-format version this result serializes under (see
+    #: :mod:`repro.core.serialize`); cached entries with a different
+    #: schema are unreachable by construction.
+    schema_version: int = 1
+    #: True when this result was served from the persistent cache
+    #: rather than compiled in this call.
+    from_cache: bool = False
 
     @property
     def c_text(self) -> str:
@@ -60,28 +67,75 @@ def compile_distributed(
     comps: Dict[str, CompDecomp],
     initial_data: Optional[Dict[str, DataDecomp]] = None,
     options: Optional["SPMDOptions"] = None,
+    cache_dir: Optional[str] = None,
 ) -> CompileResult:
     """Compile with explicit computation decompositions (the paper's
-    primary, value-centric mode)."""
-    from ..codegen import generate_spmd
-    from ..polyhedra import stats
+    primary, value-centric mode).
 
-    before = stats.snapshot()
-    start = time.perf_counter()
-    spmd = generate_spmd(
-        program, comps, initial_data=initial_data, options=options
-    )
-    return CompileResult(
-        spmd,
-        time.perf_counter() - start,
-        poly_stats=stats.delta_since(before),
-    )
+    ``cache_dir`` activates the persistent content-addressed cache for
+    the duration of this call (FM projections, feasibility verdicts and
+    the whole result flow through it); when omitted, whatever cache the
+    process already activated (server mode, pool workers) is used.
+    Cached results are bit-identical to fresh compiles -- see
+    ``repro.core.serialize.results_equal`` and DESIGN.md section 15.
+    """
+    from ..codegen import generate_spmd
+    from ..polyhedra import diskcache, stats
+
+    from . import serialize
+
+    with diskcache.using(cache_dir):
+        disk = diskcache.active()
+        before = stats.snapshot()
+        start = time.perf_counter()
+        key: Optional[str] = None
+        if disk is not None:
+            try:
+                key = serialize.job_key(
+                    program, comps, initial_data, options
+                )
+            except serialize.SerializeError:
+                key = None  # uncacheable request; compile normally
+            if key is not None:
+                blob = disk.get_bytes("result", key)
+                if blob is not None:
+                    try:
+                        hit = serialize.load_result(blob)
+                    except serialize.SerializeError:
+                        pass  # stale/corrupt artifact: fall through
+                    else:
+                        stats.STATS.result_cache_hits += 1
+                        hit.compile_seconds = (
+                            time.perf_counter() - start
+                        )
+                        hit.poly_stats = stats.delta_since(before)
+                        hit.from_cache = True
+                        return hit
+                stats.STATS.result_cache_misses += 1
+        spmd = generate_spmd(
+            program, comps, initial_data=initial_data, options=options
+        )
+        result = CompileResult(
+            spmd,
+            time.perf_counter() - start,
+            poly_stats=stats.delta_since(before),
+            schema_version=serialize.SCHEMA_VERSION,
+        )
+        if disk is not None and key is not None:
+            try:
+                disk.put_bytes(
+                    "result", key, serialize.dump_result(result)
+                )
+            except serialize.SerializeError:
+                pass  # opaque statement fns etc.: simply not cached
+        return result
 
 
 def compile_owner_computes(
     program: Program,
     data: Dict[str, DataDecomp],
     options: Optional["SPMDOptions"] = None,
+    cache_dir: Optional[str] = None,
 ) -> CompileResult:
     """Compile from user-specified data decompositions (HPF-style input).
 
@@ -100,7 +154,8 @@ def compile_owner_computes(
             )
         comps[stmt.name] = owner_computes(stmt, decomp)
     return compile_distributed(
-        program, comps, initial_data=data, options=options
+        program, comps, initial_data=data, options=options,
+        cache_dir=cache_dir,
     )
 
 

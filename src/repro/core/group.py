@@ -28,6 +28,12 @@ from .redundancy import eliminate_self_reuse
 _OFFSET = itertools.count()
 
 
+def reset_offset_names() -> None:
+    """Restart offset-variable numbering (called per compile)."""
+    global _OFFSET
+    _OFFSET = itertools.count()
+
+
 @dataclass
 class UniformFamily:
     """A maximal set of uniformly generated reads of one statement.

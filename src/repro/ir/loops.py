@@ -50,6 +50,13 @@ class Statement:
     #: the same ``(values, env)`` signature.
     vector_fn: Union[None, bool, Callable] = None
 
+    #: picklable recipe for rebuilding ``fn`` (the parser's RHS AST; see
+    #: :func:`repro.lang.parser.compile_fn_spec`).  ``fn`` itself is a
+    #: closure and cannot be pickled; statements with an ``fn_spec``
+    #: round-trip through the compile cache and batch workers, ones
+    #: built directly from Python callables do not.
+    fn_spec: Optional[tuple] = None
+
     def __post_init__(self):
         # unnamed statements get "S<k>" when the owning Program finalizes
         if self.guard_reads_lhs and self.lhs not in self.reads:
@@ -92,6 +99,26 @@ class Statement:
 
     def __eq__(self, other):
         return self is other
+
+    # -- pickling ---------------------------------------------------------
+    # ``fn`` is a closure; the AST recipe in ``fn_spec`` stands in for it
+    # on the wire and is recompiled on load.  A probed ``vector_fn``
+    # callable is likewise dropped (the runtime re-probes lazily).
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        if state.get("fn_spec") is not None:
+            state["fn"] = None
+        if callable(state.get("vector_fn")):
+            state["vector_fn"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.fn is None and self.fn_spec is not None:
+            from ..lang.parser import compile_fn_spec  # cycle: lazy
+
+            self.fn = compile_fn_spec(self.fn_spec)
 
 
 @dataclass

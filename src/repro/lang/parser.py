@@ -125,6 +125,30 @@ _CMPOPS: Dict[str, Callable[[float, float], bool]] = {
 }
 
 
+def compile_fn_spec(spec) -> Callable:
+    """Rebuild a Statement's executable ``fn`` from its AST spec.
+
+    ``spec`` is ``("expr", rhs_ast)`` for plain assignments or
+    ``("cond", rhs_ast, cond_ast, lhs_index)`` for guarded ones -- the
+    picklable record the parser leaves on every Statement so compiled
+    programs can round-trip through the compile cache and the batch
+    workers (closures themselves cannot be pickled).
+    """
+    kind = spec[0]
+    if kind == "expr":
+        return _compile_expr(spec[1])
+    if kind == "cond":
+        _rhs, _cond, _idx = spec[1], spec[2], spec[3]
+        cond_fn = _compile_expr(_cond)
+        rhs_fn = _compile_expr(_rhs)
+
+        def fn(values, env, _c=cond_fn, _r=rhs_fn, _i=_idx):
+            return _r(values, env) if _c(values, env) else values[_i]
+
+        return fn
+    raise ValueError(f"unknown fn_spec kind {kind!r}")
+
+
 class _Parser:
     def __init__(self, tokens: List[Token]):
         self.tokens = tokens
@@ -418,22 +442,18 @@ class _Parser:
         lhs_index = (
             reads.index(lhs) if lhs in reads else len(reads)
         )
-        cond_fn = _compile_expr(cond_ast)
-        rhs_fn = _compile_expr(rhs_ast)
-
-        def fn(values, env, _c=cond_fn, _r=rhs_fn, _i=lhs_index):
-            return _r(values, env) if _c(values, env) else values[_i]
-
+        spec = ("cond", rhs_ast, cond_ast, lhs_index)
         text = f"if ... then {lhs} = " + _render_tokens(
             self.tokens[text_start : self.pos - 1]
         )
         return Statement(
             lhs=lhs,
             reads=reads,
-            fn=fn,
+            fn=compile_fn_spec(spec),
             name=label,
             text=text,
             guard_reads_lhs=True,
+            fn_spec=spec,
         )
 
     def parse_for(self, arrays: Dict[str, Array]) -> Loop:
@@ -467,12 +487,13 @@ class _Parser:
         text_start = self.pos
         ast = self.parse_rhs(reads, arrays)
         self.expect("NEWLINE")
-        fn = _compile_expr(ast)
+        spec = ("expr", ast)
         text = f"{lhs} = " + _render_tokens(
             self.tokens[text_start : self.pos - 1]
         )
         return Statement(
-            lhs=lhs, reads=reads, fn=fn, name=label, text=text
+            lhs=lhs, reads=reads, fn=compile_fn_spec(spec), name=label,
+            text=text, fn_spec=spec,
         )
 
 

@@ -23,6 +23,7 @@ from .bexpr import (
     simplify_bexpr,
     upper_bound_expr,
 )
+from . import diskcache
 from . import stats
 from .fourier_motzkin import (
     VarBounds,
@@ -120,6 +121,7 @@ __all__ = [
     "set_default_prune_level",
     "set_feasibility_memo_size",
     "set_projection_cache_size",
+    "diskcache",
     "simplify",
     "simplify_bexpr",
     "stats",

@@ -248,9 +248,24 @@ def eliminate(
     cached = _PROJECTION_CACHE.get(key)
     if cached is not None:
         return cached
+    disk = _diskcache().active()
+    if disk is not None:
+        found, hit = disk.get_object("fm", repr(key))
+        if found and isinstance(hit, System):
+            _PROJECTION_CACHE.put(key, hit)
+            return hit
     out, _ = _combine(extract_bounds(system, name), prune, track_exact=False)
     _PROJECTION_CACHE.put(key, out)
+    if disk is not None:
+        disk.put_object("fm", repr(key), out)
     return out
+
+
+def _diskcache():
+    """The persistent-cache module (import deferred: it imports stats)."""
+    from . import diskcache
+
+    return diskcache
 
 
 def eliminate_exact_flag(

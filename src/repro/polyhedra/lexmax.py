@@ -32,6 +32,12 @@ from .system import InfeasibleError, System
 _AUX = itertools.count()
 
 
+def reset_aux_names() -> None:
+    """Restart fresh-variable numbering (see omega.reset_aux_names)."""
+    global _AUX
+    _AUX = itertools.count()
+
+
 class LexMaxUnsupportedError(Exception):
     """The system falls outside the supported (common-case) domain."""
 

@@ -42,6 +42,20 @@ def _fresh_aux(prefix: str = "omega") -> str:
     return f"${prefix}{next(_AUX_COUNTER)}"
 
 
+def reset_aux_names() -> None:
+    """Restart auxiliary-variable numbering (called per compile).
+
+    Fresh names only need to be distinct *within* one compilation;
+    restarting the counter makes a compile a deterministic function of
+    its inputs, so identical compiles produce identical cache keys
+    across processes (the disk cache depends on this).  Content-based
+    cache keys make reuse of a number harmless: two systems share a key
+    only when their whole constraint sets match.
+    """
+    global _AUX_COUNTER
+    _AUX_COUNTER = itertools.count()
+
+
 # ---------------------------------------------------------------------------
 # Equality elimination
 # ---------------------------------------------------------------------------
@@ -175,10 +189,25 @@ def integer_feasible(system: System, max_depth: int = 60) -> bool:
         STATS.feasibility_cache_hits += 1
         return hit
     STATS.feasibility_cache_misses += 1
-    try:
-        verdict = _feasible(system, max_depth)
-    except InfeasibleError:
-        verdict = False
+    from . import diskcache  # deferred: diskcache imports stats
+
+    disk = diskcache.active()
+    verdict: Optional[bool] = None
+    if disk is not None:
+        stored = disk.get_bytes("feas", repr(key))
+        if stored == b"\x01":
+            verdict = True
+        elif stored == b"\x00":
+            verdict = False
+    if verdict is None:
+        try:
+            verdict = _feasible(system, max_depth)
+        except InfeasibleError:
+            verdict = False
+        if disk is not None:
+            disk.put_bytes(
+                "feas", repr(key), b"\x01" if verdict else b"\x00"
+            )
     _FEASIBILITY_MEMO[key] = verdict
     while len(_FEASIBILITY_MEMO) > _FEASIBILITY_MEMO_MAXSIZE:
         _FEASIBILITY_MEMO.popitem(last=False)

@@ -44,6 +44,15 @@ class PolyStats:
     #: integer-feasibility memo traffic (see omega.integer_feasible).
     feasibility_cache_hits: int = 0
     feasibility_cache_misses: int = 0
+    #: persistent disk-cache traffic (see repro.polyhedra.diskcache);
+    #: kept separate from the in-memory counters above so ``--poly-stats``
+    #: can tell a warm process apart from a warm cache directory.
+    disk_cache_hits: int = 0
+    disk_cache_misses: int = 0
+    disk_cache_evictions: int = 0
+    #: whole-CompileResult cache traffic (core.compiler, memory or disk).
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
     #: largest constraint count seen in any intermediate system.
     peak_system_size: int = 0
     #: symbolic-coefficient FM pair counts (repro.polyhedra.symbolic).
@@ -130,6 +139,23 @@ def summary(stats: Dict[str, int] | None = None) -> str:
         f"{s['projection_cache_evictions']} evictions)",
         f"  feasibility memo:       {s['feasibility_cache_hits']} hits / "
         f"{s['feasibility_cache_misses']} misses ({feas_rate:.1f}% hit rate)",
+    ]
+    disk_total = s.get("disk_cache_hits", 0) + s.get("disk_cache_misses", 0)
+    result_total = (
+        s.get("result_cache_hits", 0) + s.get("result_cache_misses", 0)
+    )
+    if disk_total or result_total or s.get("disk_cache_evictions", 0):
+        disk_rate = (
+            100.0 * s["disk_cache_hits"] / disk_total if disk_total else 0.0
+        )
+        lines += [
+            f"  disk cache:             {s['disk_cache_hits']} hits / "
+            f"{s['disk_cache_misses']} misses ({disk_rate:.1f}% hit rate, "
+            f"{s['disk_cache_evictions']} evictions)",
+            f"  whole-result cache:     {s['result_cache_hits']} hits / "
+            f"{s['result_cache_misses']} misses",
+        ]
+    lines += [
         f"  peak system size:       {s['peak_system_size']} constraints",
         f"  symbolic FM pairs:      {s['symbolic_pairs_considered']} "
         f"considered, {s['symbolic_pairs_materialized']} materialized",

@@ -1,0 +1,177 @@
+"""The persistent content-addressed cache (DESIGN.md section 15).
+
+The store's contract: same question + same pipeline version -> same
+address; version skew or corruption of any kind degrades to a miss
+(never an exception, never a wrong answer); the byte cap is enforced by
+LRU eviction; concurrent writers only ever publish whole entries.
+"""
+
+import os
+
+import pytest
+
+from repro.polyhedra import diskcache
+from repro.polyhedra.diskcache import DiskCache
+from repro.polyhedra.stats import STATS
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(str(tmp_path / "cache"))
+
+
+def _entry_files(cache):
+    out = []
+    for dirpath, _dirs, names in os.walk(cache.path):
+        out.extend(
+            os.path.join(dirpath, n) for n in names if n.endswith(".bin")
+        )
+    return out
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self, cache):
+        assert cache.get_bytes("fm", "key") is None
+        cache.put_bytes("fm", "key", b"payload")
+        assert cache.get_bytes("fm", "key") == b"payload"
+
+    def test_object_round_trip(self, cache):
+        found, _ = cache.get_object("fm", "k")
+        assert not found
+        cache.put_object("fm", "k", {"answer": [1, 2, 3]})
+        found, value = cache.get_object("fm", "k")
+        assert found and value == {"answer": [1, 2, 3]}
+
+    def test_kinds_do_not_collide(self, cache):
+        cache.put_bytes("fm", "same-key", b"projection")
+        cache.put_bytes("feas", "same-key", b"\x01")
+        assert cache.get_bytes("fm", "same-key") == b"projection"
+        assert cache.get_bytes("feas", "same-key") == b"\x01"
+
+    def test_hit_and_miss_counters(self, cache):
+        before_miss = STATS.disk_cache_misses
+        before_hit = STATS.disk_cache_hits
+        cache.get_bytes("fm", "absent")
+        cache.put_bytes("fm", "present", b"x")
+        cache.get_bytes("fm", "present")
+        assert STATS.disk_cache_misses == before_miss + 1
+        assert STATS.disk_cache_hits == before_hit + 1
+
+
+class TestInvalidation:
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        old = DiskCache(str(tmp_path), fingerprint="pipeline-v1")
+        old.put_bytes("result", "job", b"artifact")
+        new = DiskCache(str(tmp_path), fingerprint="pipeline-v2")
+        # different fingerprint -> different address -> clean miss
+        assert new.get_bytes("result", "job") is None
+        # and the old pipeline still sees its entry
+        assert old.get_bytes("result", "job") == b"artifact"
+
+    def test_stale_fingerprint_inside_entry_is_a_miss(self, tmp_path):
+        """Even an address collision cannot serve version-skewed bytes:
+        the fingerprint is verified inside the entry body too."""
+        old = DiskCache(str(tmp_path), fingerprint="v1")
+        old.put_bytes("result", "job", b"artifact")
+        (path,) = _entry_files(old)
+        new = DiskCache(str(tmp_path), fingerprint="v2")
+        # force the address collision by renaming the old entry onto
+        # the new pipeline's address
+        os.renames(path, new._address("result", "job"))
+        assert new.get_bytes("result", "job") is None
+
+    def test_corrupted_entry_is_a_miss_and_dropped(self, cache):
+        cache.put_bytes("fm", "key", b"payload")
+        (path,) = _entry_files(cache)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as fh:  # flip a byte mid-body
+            fh.write(raw[: len(raw) // 2] + b"\xff" + raw[len(raw) // 2 + 1:])
+        assert cache.get_bytes("fm", "key") is None
+        assert _entry_files(cache) == []  # bad entry unlinked
+
+    @pytest.mark.parametrize("keep", [0, 3, 10])
+    def test_truncated_entry_is_a_miss(self, cache, keep):
+        cache.put_bytes("fm", "key", b"payload-bytes")
+        (path,) = _entry_files(cache)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(raw[:keep])
+        assert cache.get_bytes("fm", "key") is None
+
+    def test_garbage_entry_never_raises(self, cache):
+        cache.put_bytes("fm", "key", b"payload")
+        (path,) = _entry_files(cache)
+        with open(path, "wb") as fh:
+            fh.write(b"RPDC1\n" + os.urandom(64))
+        assert cache.get_bytes("fm", "key") is None
+
+
+class TestEviction:
+    def test_lru_eviction_respects_byte_cap(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes=4096)
+        payload = b"x" * 256
+        for i in range(64):
+            cache.put_bytes("fm", f"key{i}", payload)
+            os.utime(
+                cache._address("fm", f"key{i}"), (i, i)
+            )  # deterministic LRU order
+        _entries, total = cache._scan()
+        assert total > 0
+        cache.gc()
+        _entries, total = cache._scan()
+        assert total <= 4096
+        # newest entries survive, oldest were evicted
+        assert cache.get_bytes("fm", "key63") == payload
+        assert cache.get_bytes("fm", "key0") is None
+
+    def test_put_enforces_cap_inline(self, tmp_path):
+        """Writing far past the cap triggers amortized eviction without
+        an explicit gc call."""
+        cache = DiskCache(str(tmp_path), max_bytes=4096)
+        payload = b"y" * 1024
+        for i in range(3000):
+            cache.put_bytes("fm", f"key{i}", payload)
+        _entries, total = cache._scan()
+        # bounded by cap + the amortization window (1 MiB floor), not
+        # by the ~3 MB written
+        window = max(cache.max_bytes // 64, 1 << 20)
+        assert total <= cache.max_bytes + window
+
+    def test_clear_drops_everything(self, cache):
+        for i in range(5):
+            cache.put_bytes("fm", f"k{i}", b"z")
+        assert cache.clear() == 5
+        assert cache.stats()["entries"] == 0
+
+
+class TestActivation:
+    def test_using_restores_previous(self, tmp_path):
+        assert diskcache.active() is None
+        with diskcache.using(str(tmp_path / "a")) as outer:
+            assert diskcache.active() is outer
+            with diskcache.using(str(tmp_path / "b")) as inner:
+                assert diskcache.active() is inner
+            assert diskcache.active() is outer
+        assert diskcache.active() is None
+
+    def test_using_none_is_a_no_op(self, tmp_path):
+        with diskcache.using(None) as got:
+            assert got is None
+        with diskcache.using(str(tmp_path)):
+            with diskcache.using(None) as got:
+                # None keeps whatever was active (server mode nests
+                # plain compile calls without losing its cache)
+                assert got is not None
+
+    def test_activate_deactivate(self, tmp_path):
+        try:
+            cache = diskcache.activate(str(tmp_path))
+            assert diskcache.active() is cache
+        finally:
+            diskcache.deactivate()
+        assert diskcache.active() is None
+
+    def test_summarize_cache_line(self, cache):
+        line = diskcache.summarize_cache(cache.stats())
+        assert line.startswith("cache: ")
+        assert "hit rate" in line and cache.path in line

@@ -177,6 +177,121 @@ class TestCLI:
         assert out_file.exists()
 
 
+class TestCacheCLI:
+    def test_compile_cache_dir_prints_cache_line(self, program_file,
+                                                 tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(
+                ["compile", program_file, "--block", "i=32",
+                 "--cache-dir", cache_dir]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "send" in captured.out
+        assert captured.err.count("cache: ") == 1
+        assert "entries" in captured.err and "hit rate" in captured.err
+
+    def test_warm_compile_is_served_from_cache(self, program_file,
+                                               tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["compile", program_file, "--block", "i=32",
+                "--cache-dir", cache_dir, "--poly-stats"]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "(cached result)" not in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # emitted C identical
+        assert "(cached result)" in warm.err
+        assert "whole-result cache:" in warm.err
+        assert "1 hits / 0 misses" in warm.err
+        assert "disk cache:" in warm.err
+
+    def test_poly_stats_without_cache_has_no_disk_lines(
+        self, program_file, capsys
+    ):
+        assert (
+            main(["compile", program_file, "--block", "i=32",
+                  "--poly-stats"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "projection cache" in err
+        assert "disk cache:" not in err
+        assert "cache: " not in err.splitlines()[-1]
+
+    def test_cache_stats_clear_gc(self, program_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(["compile", program_file, "--block", "i=32",
+                  "--cache-dir", cache_dir])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "fingerprint:" in out
+        assert " 0" not in out.splitlines()[1]  # some entries exist
+        assert main(["cache", "gc", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     0" in out
+
+    def test_cache_gc_enforces_byte_cap(self, program_file, tmp_path,
+                                        capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(["compile", program_file, "--block", "i=32",
+                  "--cache-dir", cache_dir])
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["cache", "gc", "--cache-dir", cache_dir,
+                  "--max-bytes", "1"])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     0" in out
+
+
+class TestServeCLI:
+    def test_serve_stdio_session(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        reqs = [
+            {"id": 1, "program": FIG2, "blocks": {"i": 16},
+             "emit": "none"},
+            {"id": 2, "program": FIG2, "blocks": {"i": 16},
+             "emit": "none"},
+            {"id": 3, "op": "stats"},
+            {"id": 4, "op": "shutdown"},
+        ]
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("\n".join(json.dumps(r) for r in reqs) + "\n"),
+        )
+        assert (
+            main(["serve", "--cache-dir", str(tmp_path / "cache")]) == 0
+        )
+        out = capsys.readouterr().out
+        replies = [json.loads(l) for l in out.splitlines()]
+        assert [r["id"] for r in replies] == [1, 2, 3, 4]
+        assert replies[0]["from_cache"] is False
+        assert replies[1]["from_cache"] is True
+        assert replies[2]["result_cache_hits"] == 1
+        assert replies[3]["bye"] is True
+
+
 class TestCorruptionCLI:
     def test_run_with_corruption_recovers(self, program_file, capsys):
         assert (
