@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 from ..decomp import CompDecomp, DataDecomp, owner_computes
 from ..ir import Program
 from .commsets import CommSet, enumerate_commset
+from .serialize import SCHEMA_VERSION
 
 if TYPE_CHECKING:  # avoid a circular import; codegen depends on core
     from ..codegen import SPMD, SPMDOptions
@@ -47,8 +48,9 @@ class CompileResult:
     poly_stats: Dict[str, int] = field(default_factory=dict)
     #: artifact-format version this result serializes under (see
     #: :mod:`repro.core.serialize`); cached entries with a different
-    #: schema are unreachable by construction.
-    schema_version: int = 1
+    #: schema are unreachable by construction.  Defaults to the real
+    #: schema constant so bumping SCHEMA_VERSION restamps results.
+    schema_version: int = SCHEMA_VERSION
     #: True when this result was served from the persistent cache
     #: rather than compiled in this call.
     from_cache: bool = False

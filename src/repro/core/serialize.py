@@ -290,4 +290,5 @@ def load_result(data: bytes):
         spmd,
         payload["compile_seconds"],
         poly_stats=dict(payload["poly_stats"]),
+        schema_version=payload["schema"],
     )

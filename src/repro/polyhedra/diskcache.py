@@ -24,10 +24,22 @@ Layout and invariants:
 * ``max_bytes`` caps the store; eviction is LRU on file mtimes (reads
   touch their entry).  Eviction is advisory hygiene: evicting never
   changes results, only future hit rates.
+
+Trust model: cache bodies are unpickled on load, and whole-result
+artifacts re-execute stored node source (``serialize.load_result``).
+The BLAKE2b digest is computed *from the body itself*, so it detects
+accidental corruption only, never tampering -- anyone who can write to
+the cache directory can run arbitrary code in every process that reads
+it.  A cache directory is therefore as trusted as the code you run:
+share it between your own processes, never across privilege
+boundaries.  Cache roots this module creates get mode ``0o700``; if
+you point ``--cache-dir`` at a pre-existing directory, its permissions
+are your responsibility.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
 import pickle
 import tempfile
@@ -81,7 +93,12 @@ class DiskCache:
             pipeline_fingerprint() if fingerprint is None else fingerprint
         )
         self._objects = os.path.join(self.path, "objects")
-        os.makedirs(self._objects, exist_ok=True)
+        # 0o700: loads unpickle (and result loads exec) cache bodies,
+        # so the store must not be writable by other principals (see
+        # the module docstring's trust model).  Best-effort -- an
+        # existing directory keeps whatever permissions it has.
+        os.makedirs(self.path, mode=0o700, exist_ok=True)
+        os.makedirs(self._objects, mode=0o700, exist_ok=True)
         #: bytes written since the last cap check (puts between checks)
         self._unchecked_bytes = 0
 
@@ -148,7 +165,7 @@ class DiskCache:
         )
         raw = _MAGIC + blake2b(body, digest_size=_DIGEST_SIZE).digest() + body
         directory = os.path.dirname(target)
-        os.makedirs(directory, exist_ok=True)
+        os.makedirs(directory, mode=0o700, exist_ok=True)
         fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=directory)
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -250,10 +267,20 @@ class DiskCache:
 
 
 # ---------------------------------------------------------------------------
-# process-wide activation
+# activation (per thread / context, not process-global)
 # ---------------------------------------------------------------------------
 
-_ACTIVE: Optional[DiskCache] = None
+#: The active cache lives in a ContextVar rather than a module global:
+#: each thread (and each asyncio task) sees its own activation, so the
+#: threaded TCP server's per-request ``activated`` scopes cannot
+#: interleave -- one connection's exit can never null out or repoint
+#: the cache another connection is compiling against.  Pool workers are
+#: unaffected: ``ProcessPoolExecutor`` runs the initializer and every
+#: task on the worker's main thread, so ``activate`` in the initializer
+#: is visible to all of that worker's compiles.
+_ACTIVE: contextvars.ContextVar[Optional[DiskCache]] = (
+    contextvars.ContextVar("repro_diskcache_active", default=None)
+)
 
 
 def activate(
@@ -261,48 +288,49 @@ def activate(
     max_bytes: Optional[int] = None,
     fingerprint: Optional[str] = None,
 ) -> DiskCache:
-    """Open (creating if needed) and activate a cache for this process.
+    """Open (creating if needed) and activate a cache for this context.
 
     While active, FM projections, feasibility verdicts and whole
     compile results flow through it (see ``fourier_motzkin.eliminate``,
     ``omega.integer_feasible``, ``core.compiler.compile_distributed``).
+    Activation is per thread/context: threads started *after* this call
+    do not inherit it (use ``activated``/``using`` inside them instead).
     """
-    global _ACTIVE
-    _ACTIVE = DiskCache(path, max_bytes=max_bytes, fingerprint=fingerprint)
-    return _ACTIVE
+    cache = DiskCache(path, max_bytes=max_bytes, fingerprint=fingerprint)
+    _ACTIVE.set(cache)
+    return cache
 
 
 def deactivate() -> None:
-    global _ACTIVE
-    _ACTIVE = None
+    _ACTIVE.set(None)
 
 
 def active() -> Optional[DiskCache]:
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 class activated:
     """``with diskcache.activated(cache):`` -- scoped activation of an
     existing :class:`DiskCache` (``None`` leaves the current one).
 
-    Restores the previously active cache (if any) on exit, so a server
-    with its own cache does not permanently repoint the process.
+    Restores the previously active cache (if any) on exit.  The scope
+    is confined to the current thread/context, so concurrent server
+    requests activating the same store never disturb each other.
     """
 
     def __init__(self, cache: Optional[DiskCache]):
         self.cache = cache
-        self._saved: Optional[DiskCache] = None
+        self._token: Optional[contextvars.Token] = None
 
     def __enter__(self) -> Optional[DiskCache]:
-        global _ACTIVE
-        self._saved = _ACTIVE
-        if self.cache is not None:
-            _ACTIVE = self.cache
-        return _ACTIVE
+        target = self.cache if self.cache is not None else _ACTIVE.get()
+        self._token = _ACTIVE.set(target)
+        return target
 
     def __exit__(self, *exc) -> None:
-        global _ACTIVE
-        _ACTIVE = self._saved
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
 
 
 class using(activated):

@@ -33,6 +33,7 @@ import json
 import socketserver
 import threading
 import time
+from collections import OrderedDict, deque
 from dataclasses import fields as dc_fields
 from typing import Dict, List, Optional
 
@@ -82,6 +83,14 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[idx]
 
 
+#: how many recent request latencies stats() percentiles cover, and how
+#: many distinct programs the parse memo retains -- both bounded so a
+#: long-lived server's memory stays flat no matter how many requests
+#: it has answered.
+LATENCY_WINDOW = 2048
+PARSE_MEMO_SIZE = 256
+
+
 class CompileServer:
     """Transport-agnostic request handler (stdio and TCP share it)."""
 
@@ -95,11 +104,18 @@ class CompileServer:
             if cache_dir is not None else None
         )
         self._lock = threading.Lock()
-        self._parse_memo: Dict[tuple, object] = {}
+        # one compile at a time: generate_spmd resets process-global
+        # fresh-name counters at entry, so two compiles interleaving in
+        # the threaded TCP transport could hand out duplicate "fresh"
+        # names and publish a corrupt artifact into the persistent
+        # cache.  Serializing compiles keeps every artifact
+        # bit-identical to a sequential compile of the same request.
+        self._compile_lock = threading.Lock()
+        self._parse_memo: "OrderedDict[tuple, object]" = OrderedDict()
         self.requests = 0
         self.errors = 0
         self.cache_hits = 0
-        self.latencies: List[float] = []
+        self.latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
         self.closing = False
 
     # -- request handling -------------------------------------------------
@@ -147,10 +163,15 @@ class CompileServer:
         key = (source, name)
         with self._lock:
             program = self._parse_memo.get(key)
+            if program is not None:
+                self._parse_memo.move_to_end(key)  # LRU touch
         if program is None:
             program = parse(source, name=name)
             with self._lock:
                 self._parse_memo[key] = program
+                self._parse_memo.move_to_end(key)
+                while len(self._parse_memo) > PARSE_MEMO_SIZE:
+                    self._parse_memo.popitem(last=False)
         return program
 
     def _compile(self, obj: Dict) -> Dict:
@@ -161,8 +182,10 @@ class CompileServer:
         comps = comps_from_blocks(program, obj.get("blocks") or {})
         options = options_from_dict(obj.get("options"))
         # scoped activation: the server's store serves this request
-        # without permanently repointing the process-wide cache
-        with diskcache.activated(self.disk):
+        # without repointing other contexts.  The compile lock
+        # serializes compile_distributed across connection threads --
+        # see __init__ -- while cheap ops (ping, stats) stay unblocked.
+        with self._compile_lock, diskcache.activated(self.disk):
             result = _compiler.compile_distributed(
                 program, comps, options=options
             )
@@ -191,6 +214,9 @@ class CompileServer:
 
     def stats(self) -> Dict:
         with self._lock:
+            # percentiles cover a bounded window of recent requests, so
+            # a long-lived server's stats calls stay O(window), not
+            # O(lifetime requests)
             lat = sorted(self.latencies)
             requests = self.requests
             hits = self.cache_hits
@@ -202,6 +228,7 @@ class CompileServer:
             "hit_rate": (hits / requests) if requests else 0.0,
             "latency_p50": _percentile(lat, 0.50),
             "latency_p95": _percentile(lat, 0.95),
+            "latency_window": len(lat),
         }
         if self.disk is not None:
             info["disk"] = self.disk.stats()
@@ -249,7 +276,9 @@ class _Handler(socketserver.StreamRequestHandler):
 
 class TCPCompileServer(socketserver.ThreadingTCPServer):
     """One thread per connection; all share one CompileServer (and so
-    one set of warm caches)."""
+    one set of warm caches).  Compiles themselves are serialized by the
+    CompileServer's compile lock; concurrency buys pipelining of
+    parse/IO against compute, not parallel codegen."""
 
     allow_reuse_address = True
     daemon_threads = True

@@ -206,7 +206,14 @@ class TestCrashScheduleSweepProperty:
     """Hypothesis sweep over fig2/LU/pipe crash schedules: any single
     scheduled crash, any rank, any checkpoint cadence, any backend --
     local recovery always lands on the crash-free answer, bit for
-    bit."""
+    bit.
+
+    Crashes are scheduled at a fraction of the *target rank's own*
+    finish clock, not of the overall makespan: a rank that finishes
+    early (fig2's rank 0 retires at ~0.6 of the makespan) can never
+    fire a crash scheduled after its retirement, which would make
+    ``restarts >= 1`` vacuously false -- that semantics is pinned by
+    ``test_crash_after_retirement_never_fires`` below."""
 
     @settings(max_examples=12, deadline=None)
     @given(
@@ -219,15 +226,35 @@ class TestCrashScheduleSweepProperty:
     def test_local_recovery_matches_crash_free(
         self, name, rank, frac, every_ops, backend
     ):
+        from repro.runtime.analysis import decompose
+
         build, params = PROGRAMS[name]
         spmd = build()
         base = run_spmd(spmd, params)
-        plan = FaultPlan(crashes={rank: base.makespan * frac})
+        finish = decompose(base)[(rank,)].total()
+        plan = FaultPlan(crashes={rank: finish * frac})
         res = crash_run(
             spmd, params, plan, backend=backend,
             checkpoint=CheckpointPolicy(every_ops=every_ops),
         )
         assert res.restarts >= 1
+        assert same_arrays(base, res)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crash_after_retirement_never_fires(self, backend):
+        """A crash scheduled past a rank's finish clock is a no-op:
+        the processor already retired, so nothing restarts and the
+        answer is untouched (matches the chaos harness, which only
+        requires cleanliness, never a restart count)."""
+        from repro.runtime.analysis import decompose
+
+        spmd = fig2_spmd()
+        base = run_spmd(spmd, FIG2_PARAMS)
+        finish = decompose(base)[(0,)].total()
+        assert finish < base.makespan  # rank 0 really does retire early
+        plan = FaultPlan(crashes={0: (finish + base.makespan) / 2})
+        res = crash_run(spmd, FIG2_PARAMS, plan, backend=backend)
+        assert res.restarts == 0
         assert same_arrays(base, res)
 
 

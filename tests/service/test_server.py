@@ -115,6 +115,80 @@ class TestRequests:
         assert opts.aggregate is False and opts.vectorize is True
 
 
+class TestConcurrency:
+    """The threaded TCP transport shares one CompileServer across
+    connection threads; compiles must serialize (fresh-name counters
+    are process-global) and per-request cache activation must never
+    leak across threads.  These hammer handle_request from many
+    threads -- exactly what _Handler does -- and assert every artifact
+    is bit-identical to its sequential compile."""
+
+    BLOCKS = (8, 16, 32)
+
+    def _expected(self):
+        expected = {}
+        for b in self.BLOCKS:
+            program = parse(FIG2, name="<request>")
+            comps = comps_from_blocks(program, {"i": b})
+            expected[b] = compile_distributed(program, comps).c_text
+        return expected
+
+    def test_concurrent_compiles_are_bit_identical(self, tmp_path):
+        expected = self._expected()
+        server = CompileServer(cache_dir=str(tmp_path / "cache"))
+        results = {}
+        failures = []
+
+        def client(tid):
+            try:
+                for b in self.BLOCKS:
+                    resp = server.handle_request(
+                        _compile_req(blocks={"i": b})
+                    )
+                    assert resp["ok"], resp
+                    results[(tid, b)] = resp["code"]
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(tid,))
+            for tid in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not failures
+        assert server.stats()["errors"] == 0
+        for (tid, b), code in results.items():
+            assert code == expected[b], (tid, b)
+        # the store was never poisoned: a fresh server on the same
+        # cache dir serves the same artifacts as whole-result hits
+        fresh = CompileServer(cache_dir=str(tmp_path / "cache"))
+        for b in self.BLOCKS:
+            resp = fresh.handle_request(_compile_req(blocks={"i": b}))
+            assert resp["from_cache"] is True
+            assert resp["code"] == expected[b]
+
+    def test_state_stays_bounded(self, monkeypatch):
+        from repro.service import server as server_mod
+
+        monkeypatch.setattr(server_mod, "LATENCY_WINDOW", 4)
+        monkeypatch.setattr(server_mod, "PARSE_MEMO_SIZE", 2)
+        server = CompileServer()
+        for i in range(5):
+            # distinct names -> distinct parse-memo keys
+            resp = server.handle_request(
+                _compile_req(name=f"p{i}", emit="none")
+            )
+            assert resp["ok"], resp
+        assert len(server.latencies) == 4
+        assert len(server._parse_memo) == 2
+        stats = server.stats()
+        assert stats["requests"] == 5
+        assert stats["latency_window"] == 4
+
+
 class TestStdio:
     def test_stdio_loop_until_shutdown(self, server):
         lines = [
