@@ -291,7 +291,10 @@ def _build_checkpoint_policy(args) -> CheckpointPolicy | None:
 def cmd_run(args) -> int:
     program = _load(args.program)
     comps = _build_comps(program, args.block)
-    options = SPMDOptions(vectorize=not args.no_vectorize)
+    options = SPMDOptions(
+        vectorize=not args.no_vectorize,
+        early_puts=args.early_puts,
+    )
     spmd = generate_spmd(program, comps, options=options)
     params = _parse_defs(args.define)
     plan = _build_fault_plan(args)
@@ -420,6 +423,9 @@ def cmd_chaos(args) -> int:
         if args.recovery_mode == "both"
         else (args.recovery_mode,)
     )
+    transports = list(
+        dict.fromkeys(args.transport or ["reliable", "onesided"])
+    )
     saved = _transport._VERIFY_DISABLED
     if args.inject_bug:
         _transport._VERIFY_DISABLED = True
@@ -434,6 +440,7 @@ def cmd_chaos(args) -> int:
             shrink_budget=args.shrink_budget,
             recovery_modes=recovery_modes,
             crashes=not args.no_crashes,
+            transports=transports,
             log=lambda msg: print(f"chaos: {msg}"),
         )
     finally:
@@ -563,6 +570,14 @@ def main(argv=None) -> int:
         help="disable vectorized node-program loops (compile innermost "
         "loops to scalar per-iteration calls, as before)",
     )
+    p_run.add_argument(
+        "--early-puts", action="store_true",
+        help="lower aggregated sends to one-sided window puts at their "
+        "proved-earliest placement and receives to fenced window reads "
+        "(pair with --reliability onesided to price fences instead of "
+        "receive overhead; on two-sided transports the program is its "
+        "own bit-exact oracle)",
+    )
     rel = p_run.add_argument_group("reliability / fault injection")
     rel.add_argument(
         "--drop-rate", type=_rate, default=0.0, metavar="P",
@@ -621,11 +636,13 @@ def main(argv=None) -> int:
     )
     rel.add_argument(
         "--reliability",
-        choices=["auto", "direct", "reliable", "unreliable"],
+        choices=["auto", "direct", "reliable", "unreliable", "onesided"],
         default="auto",
         help="transport: auto = reliable iff faults are injected "
         "(default), direct = historical exactly-once channel, "
-        "unreliable = raw faulty network with no recovery",
+        "unreliable = raw faulty network with no recovery, onesided = "
+        "PGAS-style remote windows (puts/gets/fences) over the same "
+        "ARQ machinery, bit-exact with reliable",
     )
     res = p_run.add_argument_group("crash tolerance")
     res.add_argument(
@@ -701,6 +718,13 @@ def main(argv=None) -> int:
         choices=["threads", "coop", "event"],
         help="execution backend(s) to run under (repeatable; default: "
         "all three)",
+    )
+    p_chaos.add_argument(
+        "--transport", action="append",
+        choices=["reliable", "onesided"],
+        help="transport(s) the network-fault and corruption trials run "
+        "under (repeatable; default: both -- the one-sided window path "
+        "must survive the same schedules bit-exactly)",
     )
     p_chaos.add_argument(
         "--seeds", type=_nonneg_int, default=8, metavar="N",

@@ -150,12 +150,20 @@ class CPack(CNode):
 @dataclass
 class CSend(CNode):
     """Send ``buffer`` to the physical processor hosting virtual
-    ``dest``; the tag identifies the message across the whole run."""
+    ``dest``; the tag identifies the message across the whole run.
+
+    ``put`` marks an early one-sided window write (``--early-puts``):
+    the emitter lowers it to ``proc.put`` -- on the onesided transport a
+    remote window update issued at this, the earliest clock the
+    polyhedral engine proves the data final; on two-sided transports an
+    alias of ``proc.send``, so the same program is its own oracle.
+    """
 
     buffer: str
     dest: Tuple[BExpr, ...]
     tag_label: str
     tag_exprs: Tuple[BExpr, ...]
+    put: bool = False
 
 
 @dataclass
@@ -194,6 +202,12 @@ class CRecv(CNode):
     runtime caches them so every virtual processor emulated here can
     consume the same payload (Section 6.1.3's one-message-per-physical
     optimization).
+
+    ``fence`` marks the consumption of an early one-sided put
+    (``--early-puts``): the emitter yields a fenced receive request, so
+    the runtime prices a window fence (``CostModel.fence_time``)
+    instead of the two-sided ``recv_overhead`` and reads the payload
+    from the local window.
     """
 
     buffer: str
@@ -201,6 +215,7 @@ class CRecv(CNode):
     tag_label: str
     tag_exprs: Tuple[BExpr, ...]
     multicast: bool = False
+    fence: bool = False
 
 
 @dataclass
@@ -321,7 +336,8 @@ def emit_c(node: CNode, indent: int = 0) -> str:
         return f"{pad}{node.buffer}[idx++] = {node.array}[{idx}]"
     if isinstance(node, CSend):
         dst = ", ".join(_c_expr(e) for e in node.dest)
-        return f"{pad}send {node.buffer} to phys({dst})  /* {node.tag_label} */"
+        verb = "put" if node.put else "send"
+        return f"{pad}{verb} {node.buffer} to phys({dst})  /* {node.tag_label} */"
     if isinstance(node, CSendMulti):
         return (
             f"{pad}multicast {node.buffer} to {node.dest_set}"
@@ -334,8 +350,9 @@ def emit_c(node: CNode, indent: int = 0) -> str:
         return f"{pad}{node.name} = new destination set"
     if isinstance(node, CRecv):
         src = ", ".join(_c_expr(e) for e in node.src)
+        verb = "fence; read" if node.fence else "receive"
         return (
-            f"{pad}receive {node.buffer} from phys({src})"
+            f"{pad}{verb} {node.buffer} from phys({src})"
             f"  /* {node.tag_label} */"
         )
     if isinstance(node, CUnpack):
@@ -824,8 +841,9 @@ class PyEmitter:
         if isinstance(node, CSend):
             dst = _py_phys(node.dest, self.rank)
             tag = self._tag(node.tag_label, node.tag_exprs)
+            op = "put" if node.put else "send"
             self.lines.append(
-                f"{pad}proc.send({dst}, {tag}, _cat({node.buffer}))"
+                f"{pad}proc.{op}({dst}, {tag}, _cat({node.buffer}))"
             )
             return
         if isinstance(node, CNewDestSet):
@@ -850,6 +868,8 @@ class PyEmitter:
             src = _py_phys(node.src, self.rank)
             tag = self._tag(node.tag_label, node.tag_exprs)
             fn = "recv_mc" if node.multicast else "recv"
+            if node.fence:
+                fn += "_fence"
             self.lines.append(
                 f"{pad}{node.buffer} = yield ({fn!r}, {src}, {tag})"
             )

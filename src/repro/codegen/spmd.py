@@ -88,6 +88,13 @@ class SPMDOptions:
     #: operations when provably equivalent (DESIGN.md §10); the scalar
     #: loop is always available as an ablation axis
     vectorize: bool = True
+    #: lower aggregated sends to one-sided window puts at their already
+    #: proved-earliest placement, and matching receives to fenced window
+    #: reads (DESIGN.md §16).  Placement is unchanged -- the Theorem-3/4
+    #: prefix-extension proofs that license early placement for sends
+    #: license the puts too -- only the lowering verbs differ, so on a
+    #: two-sided transport the early-put program is its own oracle.
+    early_puts: bool = False
 
 
 @dataclass
@@ -386,6 +393,7 @@ def _carried_fragments(
                             tuple(Lin(LinExpr.var(v)) for v in pr_vars),
                             cs.label,
                             send_tag,
+                            put=options.early_puts,
                         ),
                     ]
                 )
@@ -496,6 +504,7 @@ def _carried_fragments(
                         cs.label,
                         recv_tag,
                         multicast=multicast,
+                        fence=options.early_puts,
                     ),
                     build_content(unpack_leaf),
                 ]
@@ -585,6 +594,7 @@ def _preload_fragments(
                         tuple(Lin(LinExpr.var(v)) for v in pr_vars),
                         cs.label,
                         tag,
+                        put=options.early_puts,
                     ),
                 ]
             )
@@ -640,6 +650,7 @@ def _preload_fragments(
                         tuple(Lin(LinExpr.var(v)) for v in ps_vars),
                         cs.label,
                         tag,
+                        fence=options.early_puts,
                     ),
                     build_content(unpack_leaf),
                 ]

@@ -3,8 +3,9 @@
 Layered as a small distributed runtime:
 
 * :mod:`~repro.runtime.machine` -- processors, clocks, cost model;
-* :mod:`~repro.runtime.transport` -- direct / unreliable / reliable
-  message transports (sequence numbers, ack/retransmit, dedup);
+* :mod:`~repro.runtime.transport` -- direct / unreliable / reliable /
+  onesided message transports (sequence numbers, ack/retransmit,
+  dedup, PGAS-style put/get windows with fences);
 * :mod:`~repro.runtime.faults` -- deterministic fault injection
   (network faults and fail-stop processor crashes);
 * :mod:`~repro.runtime.checkpoint` -- coordinated checkpoint/restart
@@ -66,6 +67,7 @@ from .transport import (
     LogOverflowError,
     LogRecord,
     MessageLog,
+    OneSidedTransport,
     ReliableTransport,
     Transport,
     TransportError,
@@ -100,6 +102,7 @@ __all__ = [
     "LogRecord",
     "Machine",
     "MessageLog",
+    "OneSidedTransport",
     "ProcStats",
     "Processor",
     "ProcessorCrashed",

@@ -147,7 +147,7 @@ def comm_matrix(trace: TraceBuffer) -> CommMatrix:
     """Build the per-(sender, receiver) traffic matrix from the trace."""
     matrix = CommMatrix()
     for ev in trace.events():
-        if ev.kind == "send":
+        if ev.kind in ("send", "put"):
             e = matrix.edge(ev.rank, ev.peer)
             e.messages += 1
             e.words += ev.words
@@ -190,6 +190,9 @@ class Decomposition:
     recv_overhead: float = 0.0
     #: blocked in recv waiting for data that had not arrived yet
     blocked_on_recv: float = 0.0
+    #: one-sided window synchronization (``fence_time`` per fenced
+    #: receive in early-put programs; replaces ``recv_overhead`` there)
+    fence: float = 0.0
     #: ARQ retransmission timers (stop-and-wait RTO waits)
     timeout: float = 0.0
     #: fault-injected transient stalls
@@ -212,6 +215,7 @@ class Decomposition:
             send_overhead=stats.send_time,
             recv_overhead=stats.recv_time,
             blocked_on_recv=stats.stall_time,
+            fence=stats.fence_time,
             timeout=stats.timeout_time,
             fault_stall=stats.fault_stall_time,
             checkpoint=stats.checkpoint_time,
@@ -232,11 +236,18 @@ class Decomposition:
         for ev in trace.per_rank(rank):
             if ev.kind == "compute":
                 out.compute += ev.duration
-            elif ev.kind in ("send", "multicast", "retransmit"):
+            elif ev.kind in ("send", "put", "multicast", "retransmit"):
                 out.send_overhead += ev.duration
             elif ev.kind == "recv-complete":
-                out.recv_overhead += ev.overhead
+                if ev.note == "fence":
+                    out.fence += ev.overhead
+                else:
+                    out.recv_overhead += ev.overhead
                 out.blocked_on_recv += ev.duration - ev.overhead
+            elif ev.kind == "fence-wait":
+                # explicit transport-level fences span their charge;
+                # fenced receives carry theirs on recv-complete
+                out.fence += ev.duration
             elif ev.kind == "timeout":
                 out.timeout += ev.duration
             elif ev.kind == "stall":

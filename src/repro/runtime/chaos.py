@@ -638,17 +638,21 @@ def explore(
     shrink_budget: int = 150,
     recovery_modes: Sequence[str] = ("global", "local"),
     crashes: bool = True,
+    transports: Sequence[str] = ("reliable",),
     log=None,
 ) -> ChaosReport:
     """Enumerate fault schedules, check oracles, shrink failures.
 
     Trials per workload: ``seeds`` rate-based corruption plans and (when
     ``targeted``) explicit schedules for the first ``targeted_limit``
-    critical-path messages, each under every backend -- plus, for each
-    targeted schedule, a direct-transport trial expecting a structured
-    ``CorruptionError``.  With ``crashes`` (the default), scheduled
-    fail-stop crash plans -- each rank killed at fractions of the
-    fault-free makespan -- run under every ``recovery_modes`` entry
+    critical-path messages, each under every backend and every entry of
+    ``transports`` (``"reliable"`` and/or ``"onesided"`` -- the
+    one-sided window path must survive the same fault schedules
+    bit-exactly, verifying corrupted puts before window commit) -- plus,
+    for each targeted schedule, a direct-transport trial expecting a
+    structured ``CorruptionError``.  With ``crashes`` (the default),
+    scheduled fail-stop crash plans -- each rank killed at fractions of
+    the fault-free makespan -- run under every ``recovery_modes`` entry
     (global rollback and localized sender-log recovery), expecting
     bit-exact oracle arrays either way.  Returns a
     :class:`ChaosReport`; findings carry shrunk, replayable
@@ -666,6 +670,12 @@ def explore(
             raise ValueError(
                 f"unknown recovery mode {mode!r} "
                 f"(expected 'global' or 'local')"
+            )
+    for tr in transports:
+        if tr not in ("reliable", "onesided"):
+            raise ValueError(
+                f"unknown chaos transport {tr!r} "
+                f"(expected 'reliable' or 'onesided')"
             )
     say = log or (lambda _msg: None)
     report = ChaosReport()
@@ -699,19 +709,22 @@ def explore(
         for seed in range(seeds):
             plan = FaultPlan(seed=seed, corrupt_rate=corrupt_rate)
             for backend in backends:
-                trials.append(
-                    ("oracle", backend, plan, "reliable", "global", None)
-                )
+                for transport in transports:
+                    trials.append(
+                        ("oracle", backend, plan, transport,
+                         "global", None)
+                    )
         if targeted:
             for src, dst, seq in _critical_channel_messages(
                 oracle.trace, targeted_limit
             ):
                 plan = FaultPlan(corruptions={(src, dst, seq): 0})
                 for backend in backends:
-                    trials.append((
-                        "oracle", backend, plan, "reliable",
-                        "global", None,
-                    ))
+                    for transport in transports:
+                        trials.append((
+                            "oracle", backend, plan, transport,
+                            "global", None,
+                        ))
                     trials.append((
                         "corruption-error", backend, plan, "direct",
                         "global", None,

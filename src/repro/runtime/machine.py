@@ -66,6 +66,7 @@ from .transport import (
     CorruptionError,
     DirectTransport,
     Envelope,
+    OneSidedTransport,
     ReliableTransport,
     Transport,
     UnreliableTransport,
@@ -102,6 +103,13 @@ class CostModel:
     #: checksums never perturbs existing model-time goldens unless the
     #: user explicitly prices them
     checksum_word_time: float = 0.0
+    #: cost of a one-sided window fence (the synchronization point that
+    #: makes delivered puts locally visible).  Charged per fenced
+    #: receive in early-put programs *instead of* ``recv_overhead`` --
+    #: a fence is a local epoch check, not a per-message software
+    #: rendezvous, which is exactly the overlap win §7 claims.  Free by
+    #: default so existing goldens are unperturbed
+    fence_time: float = 0.0
 
 
 @dataclass
@@ -145,6 +153,17 @@ class ProcStats:
     # -- crash-tolerance accounting ------------------------------------------
     checkpoints: int = 0
     checkpoint_time: float = 0.0
+    # -- one-sided window accounting (zero off the onesided path) -----------
+    #: one-sided remote window writes issued (first attempts; the ARQ's
+    #: retransmissions stay in ``retransmissions``)
+    puts: int = 0
+    #: local window reads (one per fenced receive / explicit ``get``)
+    gets: int = 0
+    #: window synchronization points waited at
+    fences: int = 0
+    #: model time spent at fences (``CostModel.fence_time`` per fenced
+    #: receive, plus the checksum portion when self-checking is priced)
+    fence_time: float = 0.0
 
 
 #: ProcStats field names in declaration order -- the column order of
@@ -574,10 +593,24 @@ class Processor:
         self.machine.transport.multicast(self, dests, tag, payload)
         self._after_op()
 
-    def recv(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
+    def put(self, dest: Tuple[int, ...], tag: tuple, payload: List[float]):
+        """One-sided remote window write.
+
+        An alias of :meth:`send`: the transport owns the put semantics
+        (the onesided transport's ARQ makes the window update reliable
+        and exactly-once, tracing it with the ``put`` kind), and on a
+        two-sided transport the emitted early-put program degrades to
+        plain sends -- which is exactly the bit-exactness oracle the
+        conformance matrix checks.
+        """
+        self.send(dest, tag, payload)
+
+    def recv(
+        self, src: Tuple[int, ...], tag: tuple, fenced: bool = False
+    ) -> List[float]:
         # ``src`` is advisory (kept for readable generated code); the tag
         # alone identifies the message -- it embeds the virtual sender.
-        replayed = self._recv_prologue(tag)
+        replayed = self._recv_prologue(tag, fenced=fenced)
         if replayed is not None:
             return replayed
         machine = self.machine
@@ -607,13 +640,18 @@ class Processor:
                     report=monitor.report,
                 )
             self._recv_accept(envelope)
-        return self._recv_finish(tag)
+        return self._recv_finish(tag, fenced=fenced)
 
-    def _recv_prologue(self, tag: Optional[tuple] = None):
+    def _recv_prologue(
+        self, tag: Optional[tuple] = None, fenced: bool = False
+    ):
         """The pre-wait half of ``recv``: loop-cursor advance, replay
         fast path, crash/stall checks.  Returns the replayed payload
         during fast-forward, None when the receive must run live.
-        Shared by the blocking (threads) and yielding (coop) paths."""
+        Shared by the blocking (threads) and yielding (coop) paths.
+        ``fenced`` marks a one-sided early-put consumption: the wait
+        marker becomes a ``fence-wait`` (the program is waiting at a
+        window synchronization point, not a per-message rendezvous)."""
         if self._advance():
             return self.machine.checkpoints.replay_recv(self)
         self._maybe_crash()
@@ -624,7 +662,8 @@ class Processor:
             # long it lasts in *wall* time is a backend artifact the
             # trace never records)
             trace.emit(TraceEvent(
-                kind="recv-wait", rank=self.myp, start=self.clock,
+                kind="fence-wait" if fenced else "recv-wait",
+                rank=self.myp, start=self.clock,
                 end=self.clock, tag=tag, incarnation=self._incarnation,
             ))
         return None
@@ -687,10 +726,18 @@ class Processor:
         # the payload now belongs to the stash; the shell is dead
         machine.recycle_envelope(envelope)
 
-    def _recv_finish(self, tag: tuple):
+    def _recv_finish(self, tag: tuple, fenced: bool = False):
         """The post-wait half of ``recv``: pop the stashed payload and
         charge the receive to the clock/stats.  The caller must have
-        established ``tag in self._stash``."""
+        established ``tag in self._stash``.
+
+        A ``fenced`` consumption is an early-put program reading its
+        local window after a fence: it pays ``CostModel.fence_time``
+        instead of ``recv_overhead`` (charged to the ``fence_time``
+        stats bucket so the decomposition identity survives), and its
+        trace records a fence-priced completion plus a zero-span
+        ``get`` marker in place of the two-sided ``unpack``.
+        """
         machine = self.machine
         payload, arrival = self._stash.pop(tag)
         machine.monitor.record_recv(self.myp, tag)
@@ -699,7 +746,7 @@ class Processor:
         # deterministic program point (not at the wall-clock-dependent
         # mailbox dequeue) and folded into the receive overhead so the
         # decomposition identity survives; free unless priced
-        overhead = cost.recv_overhead
+        overhead = cost.fence_time if fenced else cost.recv_overhead
         if machine.transport.checksummed:
             overhead += cost.checksum_word_time * len(payload)
         start = self.clock
@@ -708,7 +755,12 @@ class Processor:
             self.stats.stall_time += arrival - ready
         self.clock = max(ready, arrival)
         self.stats.messages_received += 1
-        self.stats.recv_time += overhead
+        if fenced:
+            self.stats.fence_time += overhead
+            self.stats.fences += 1
+            self.stats.gets += 1
+        else:
+            self.stats.recv_time += overhead
         self.stats.words_received += len(payload)
         trace = machine.trace
         if trace is not None:
@@ -717,9 +769,11 @@ class Processor:
                 end=self.clock, tag=tag, words=len(payload),
                 arrival=arrival, overhead=overhead,
                 incarnation=self._incarnation,
+                note="fence" if fenced else "",
             ))
             trace.emit(TraceEvent(
-                kind="unpack", rank=self.myp, start=self.clock,
+                kind="get" if fenced else "unpack",
+                rank=self.myp, start=self.clock,
                 end=self.clock, tag=tag, words=len(payload),
                 incarnation=self._incarnation,
             ))
@@ -730,7 +784,9 @@ class Processor:
         self._after_op()
         return payload
 
-    def recv_mc(self, src: Tuple[int, ...], tag: tuple) -> List[float]:
+    def recv_mc(
+        self, src: Tuple[int, ...], tag: tuple, fenced: bool = False
+    ) -> List[float]:
         """Receive a per-physical-processor (multicast) message.
 
         The payload is cached: every virtual processor emulated on this
@@ -740,7 +796,7 @@ class Processor:
         if tag in self._mc_cache:
             self._trace_mc_hit(tag)
             return self._mc_cache[tag]
-        payload = self.recv(src, tag)
+        payload = self.recv(src, tag, fenced=fenced)
         self._mc_cache[tag] = payload
         return payload
 
@@ -880,7 +936,9 @@ def drive_node(node_fn: Callable, proc: Processor) -> None:
 
     Generated node programs are generator functions that *yield*
     receive requests -- ``('recv', src, tag)`` / ``('recv_mc', src,
-    tag)`` -- instead of calling ``proc.recv`` directly, so the same
+    tag)``, or their fenced one-sided forms ``('recv_fence', src,
+    tag)`` / ``('recv_mc_fence', src, tag)`` emitted by early-put
+    codegen -- instead of calling ``proc.recv`` directly, so the same
     program text runs under both the threaded backend (this driver
     answers each request with a blocking receive) and the cooperative
     scheduler (which parks the coroutine until the message exists).
@@ -899,6 +957,10 @@ def drive_node(node_fn: Callable, proc: Processor) -> None:
                 payload = proc.recv(src, tag)
             elif kind == "recv_mc":
                 payload = proc.recv_mc(src, tag)
+            elif kind == "recv_fence":
+                payload = proc.recv(src, tag, fenced=True)
+            elif kind == "recv_mc_fence":
+                payload = proc.recv_mc(src, tag, fenced=True)
             else:
                 raise TypeError(
                     f"node program yielded unknown request kind {kind!r}"
@@ -913,10 +975,11 @@ class Machine:
 
     ``reliability`` selects the transport: ``"auto"``/``None`` picks
     the reliable ARQ exactly when a fault plan injects network faults
-    (and the zero-overhead direct channel otherwise), ``"direct"``,
-    ``"reliable"`` and ``"unreliable"`` force a specific transport
-    (booleans are accepted: ``True`` = reliable, ``False`` = raw).
-    An explicit ``transport`` instance overrides the selection.
+    (and the zero-overhead direct channel otherwise); ``"direct"``,
+    ``"reliable"``, ``"unreliable"`` and ``"onesided"`` force a
+    specific transport (booleans are accepted: ``True`` = reliable,
+    ``False`` = raw).  An explicit ``transport`` instance overrides
+    the selection.
     """
 
     def __init__(
@@ -1076,6 +1139,13 @@ class Machine:
             return UnreliableTransport(self.fault_plan)
         if mode == "reliable":
             return ReliableTransport(
+                plan=self.fault_plan,
+                max_retries=max_retries,
+                rto=rto,
+                backoff=backoff,
+            )
+        if mode == "onesided":
+            return OneSidedTransport(
                 plan=self.fault_plan,
                 max_retries=max_retries,
                 rto=rto,

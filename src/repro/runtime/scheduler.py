@@ -81,10 +81,10 @@ class CoopScheduler:
     def __init__(self, machine) -> None:
         self.machine = machine
         self.failures: List[Tuple[Tuple[int, ...], BaseException]] = []
-        #: myp -> _START or (tag, mc_flag) for a satisfied receive
+        #: myp -> _START or (tag, mc_flag, fenced) for a satisfied receive
         self.ready: Dict[Tuple[int, ...], object] = {}
-        #: myp -> (tag, mc_flag) for a parked receive
-        self.waiting: Dict[Tuple[int, ...], Tuple[tuple, bool]] = {}
+        #: myp -> (tag, mc_flag, fenced) for a parked receive
+        self.waiting: Dict[Tuple[int, ...], Tuple[tuple, bool, bool]] = {}
         self.gens: Dict[Tuple[int, ...], object] = {}
         #: the node program, kept for re-instantiating a locally
         #: recovered rank's coroutine
@@ -166,15 +166,16 @@ class CoopScheduler:
             if token is _START:
                 request = next(gen)
             else:
-                tag, mc = token
-                payload = proc._recv_finish(tag)
+                tag, mc, fenced = token
+                payload = proc._recv_finish(tag, fenced=fenced)
                 if mc:
                     proc._mc_cache[tag] = payload
                 request = gen.send(payload)
             while True:
                 kind, _src, tag = request
-                if kind == "recv_mc":
+                if kind == "recv_mc" or kind == "recv_mc_fence":
                     mc = True
+                    fenced = kind == "recv_mc_fence"
                     cached = proc._mc_cache.get(tag)
                     if cached is not None:
                         # same trace point as Processor.recv_mc's cache
@@ -182,13 +183,14 @@ class CoopScheduler:
                         proc._trace_mc_hit(tag)
                         request = gen.send(cached)
                         continue
-                elif kind == "recv":
+                elif kind == "recv" or kind == "recv_fence":
                     mc = False
+                    fenced = kind == "recv_fence"
                 else:
                     raise TypeError(
                         f"node program yielded unknown request kind {kind!r}"
                     )
-                replayed = proc._recv_prologue(tag)
+                replayed = proc._recv_prologue(tag, fenced=fenced)
                 if replayed is not None:  # checkpoint fast-forward replay
                     if mc:
                         proc._mc_cache[tag] = replayed
@@ -196,14 +198,14 @@ class CoopScheduler:
                     continue
                 self._pump_mailbox(proc)
                 if tag in proc._stash:
-                    payload = proc._recv_finish(tag)
+                    payload = proc._recv_finish(tag, fenced=fenced)
                     if mc:
                         proc._mc_cache[tag] = payload
                     request = gen.send(payload)
                     continue
                 # park: the monitor's block() runs the same deadlock
                 # test the threaded backend relies on
-                self.waiting[myp] = (tag, mc)
+                self.waiting[myp] = (tag, mc, fenced)
                 machine.monitor.block(myp, tag)
                 return
         except StopIteration:
@@ -264,7 +266,7 @@ class CoopScheduler:
         the rank was resumed, failed, or converted to a deadlock."""
         machine = self.machine
         proc = machine.procs[myp]
-        tag, mc = self.waiting[myp]
+        tag, mc, fenced = self.waiting[myp]
         try:
             woke = self._pump_mailbox(proc)
         except BaseException as exc:  # noqa: BLE001 - surfaced by Machine.run
@@ -278,7 +280,7 @@ class CoopScheduler:
         if tag in proc._stash:
             del self.waiting[myp]
             machine.monitor.unblock(myp)
-            self._unpark(myp, (tag, mc))
+            self._unpark(myp, (tag, mc, fenced))
             return True
         if woke:
             del self.waiting[myp]

@@ -50,8 +50,19 @@ Event kinds
 ``ack-lost``    marker: an acknowledgement was dropped by the network
 ``recv-wait``   marker: the node program started waiting for a tag
 ``recv-complete`` the wait ended (spans ``recv_overhead`` plus any
-                blocked-on-recv stall; carries the message ``arrival``)
+                blocked-on-recv stall; carries the message ``arrival``;
+                ``note == 'fence'`` when the consumption was a fenced
+                one-sided window read priced at ``fence_time``)
 ``unpack``      marker paired with ``recv-complete`` (see ``pack``)
+``put``         one one-sided remote window write (the onesided
+                transport's first-attempt transmission; identical span
+                and charge to ``send``, different programming model)
+``get``         marker: a local window read consumed fenced data (the
+                one-sided analogue of ``unpack``)
+``fence-wait``  marker: the node program reached a window
+                synchronization point (the one-sided analogue of
+                ``recv-wait``; the fence charge is carried by the
+                paired ``recv-complete`` span)
 ``mc-hit``      marker: a multicast payload was consumed from the local
                 cache (no message, no cost)
 ``dup-drop``    marker: receiver-side dedup discarded a duplicate copy
@@ -365,7 +376,8 @@ class TraceBuffer:
 def match_messages(
     trace: TraceBuffer,
 ) -> List[Tuple[TraceEvent, TraceEvent]]:
-    """Pair every ``recv-complete`` with the ``send`` that produced it.
+    """Pair every ``recv-complete`` with the ``send`` (or one-sided
+    ``put``) that produced it.
 
     Matching is FIFO per ``(destination rank, tag)``: a tag is emitted
     by a single sender in its deterministic program order, and a
@@ -383,7 +395,7 @@ def match_messages(
     """
     sends: Dict[tuple, deque] = {}
     for ev in trace.events():
-        if ev.kind in ("send", "retransmit") and ev.note not in (
+        if ev.kind in ("send", "put", "retransmit") and ev.note not in (
             "dropped", "corrupted"
         ):
             sends.setdefault((ev.peer, repr(ev.tag)), deque()).append(ev)

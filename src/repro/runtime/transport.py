@@ -63,6 +63,7 @@ stays bit-identical to the pre-corruption-era goldens.
 
 from __future__ import annotations
 
+import queue
 import threading
 from dataclasses import dataclass
 from hashlib import blake2b
@@ -70,6 +71,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .diagnostics import WAKE
 from .faults import FaultPlan, flip_word
 from .trace import TraceEvent
 
@@ -80,6 +82,7 @@ __all__ = [
     "LogOverflowError",
     "LogRecord",
     "MessageLog",
+    "OneSidedTransport",
     "ReliableTransport",
     "Transport",
     "TransportError",
@@ -335,6 +338,12 @@ class Transport:
     #: printable name, used by the CLI and reports
     name = "abstract"
 
+    #: trace kind stamped on a first-attempt transmission ("send" for
+    #: the two-sided transports; the one-sided transport overrides it
+    #: to "put" so traces show the programming model without changing
+    #: any timing -- retransmissions keep the "retransmit" kind)
+    SEND_KIND = "send"
+
     #: set by the machine when the fault plan can corrupt payloads (or
     #: the user forces it): senders stamp a checksum on every envelope
     #: and receivers verify it at delivery
@@ -374,8 +383,7 @@ class Transport:
         proc.stats.messages_sent += 1
         proc.stats.words_sent += len(payload)
 
-    @staticmethod
-    def _trace_send(proc, dest, tag, payload, start, *,
+    def _trace_send(self, proc, dest, tag, payload, start, *,
                     attempt=0, seq=None, note="") -> None:
         """Record one logical send.  ``start`` is the sender's clock
         before the startup charge (the event spans it); multicast legs
@@ -384,7 +392,7 @@ class Transport:
         trace = proc.machine.trace
         if trace is not None:
             trace.emit(TraceEvent(
-                kind="send", rank=proc.myp, start=start, end=proc.clock,
+                kind=self.SEND_KIND, rank=proc.myp, start=start, end=proc.clock,
                 tag=tag, peer=tuple(dest), words=len(payload),
                 attempt=attempt, seq=seq,
                 incarnation=proc._incarnation, note=note,
@@ -651,7 +659,7 @@ class ReliableTransport(Transport):
             )
             if trace is not None:
                 trace.emit(TraceEvent(
-                    kind="send" if attempt == 0 else "retransmit",
+                    kind=self.SEND_KIND if attempt == 0 else "retransmit",
                     rank=proc.myp, start=start, end=proc.clock,
                     tag=tag, peer=tuple(dest), words=len(payload),
                     attempt=attempt, seq=seq,
@@ -738,3 +746,99 @@ class ReliableTransport(Transport):
             f"attempt{'s' if self.max_retries else ''} "
             f"({'delivered but unacked' if delivered_once else 'all copies lost'})"
         )
+
+
+class OneSidedTransport(ReliableTransport):
+    """One-sided PGAS transport: remote windows updated by ``put``.
+
+    Each rank's tag-keyed stash *is* its remote-access window: a
+    ``put`` writes a remote window entry, a ``fence`` makes every
+    delivered put visible locally, and a ``get`` reads the local window
+    without consuming it.  The wire protocol is exactly the reliable
+    stop-and-wait ARQ (sequence numbers, acks, retransmission with
+    adaptive per-channel timers, receiver-side dedup, verify-before-
+    commit checksums), so arrays, clocks and ProcStats are
+    bit-identical to :class:`ReliableTransport` by construction -- the
+    only trace-visible difference is that first-attempt transmissions
+    carry the ``put`` kind instead of ``send`` (retransmissions keep
+    ``retransmit``).
+
+    Fault injection applies unchanged: drop/dup/stall decisions hit
+    puts exactly as they hit sends (same plan hash stream, same channel
+    ordinals), and a corrupted put is discarded by the receiver's
+    checksum verification *before* it can commit to the window -- the
+    ARQ retransmits it, so windows only ever hold verified data.
+
+    The synchronization *cost* lives in the receiving node program, not
+    here: a program compiled with ``SPMDOptions.early_puts`` waits at a
+    fence (priced at ``CostModel.fence_time`` per consumed message)
+    instead of paying ``recv_overhead`` per two-sided receive -- see
+    ``Processor._recv_finish`` and DESIGN.md §16.  The explicit
+    ``put``/``get``/``fence`` methods below expose the window model to
+    hand-written harnesses and the property-test suite.
+    """
+
+    name = "onesided"
+    SEND_KIND = "put"
+
+    def send(self, proc, dest, tag, payload) -> None:
+        proc.stats.puts += 1
+        super().send(proc, dest, tag, payload)
+
+    def multicast(self, proc, dests, tag, payload) -> None:
+        proc.stats.puts += len(dests)
+        super().multicast(proc, dests, tag, payload)
+
+    # -- explicit window API (hand-written harnesses, property tests) -----
+
+    def put(self, proc, dest, tag, payload) -> None:
+        """One-sided remote write: alias of :meth:`send` (the ARQ makes
+        the window update reliable and exactly-once)."""
+        self.send(proc, dest, tag, payload)
+
+    def fence(self, proc) -> None:
+        """Window synchronization point.
+
+        Commits every copy already delivered to ``proc``'s mailbox into
+        its window (the stash) -- corrupted copies are discarded by the
+        usual verify-before-commit, duplicated copies by seq dedup --
+        and charges ``CostModel.fence_time`` to the model clock.
+        """
+        start = proc.clock
+        while True:
+            try:
+                envelope = proc.mailbox.get_nowait()
+            except queue.Empty:
+                break
+            if envelope is WAKE:
+                continue
+            proc._recv_accept(envelope)
+        cost = proc.machine.cost
+        proc.clock += cost.fence_time
+        proc.stats.fences += 1
+        proc.stats.fence_time += cost.fence_time
+        trace = proc.machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="fence-wait", rank=proc.myp, start=start,
+                end=proc.clock, incarnation=proc._incarnation,
+            ))
+
+    def get(self, proc, tag):
+        """One-sided local window read: the payload ``tag`` holds after
+        the last fence, or ``None`` if no put has committed yet.  Reads
+        do not consume the window entry (unlike a two-sided recv) and
+        cost nothing beyond the fence that made the data visible."""
+        proc.stats.gets += 1
+        trace = proc.machine.trace
+        if trace is not None:
+            trace.emit(TraceEvent(
+                kind="get", rank=proc.myp, start=proc.clock,
+                end=proc.clock, tag=tag,
+                incarnation=proc._incarnation,
+            ))
+        entry = proc._stash.get(tag)
+        if entry is None:
+            return None
+        payload, _arrival = entry
+        return copy_payload(payload)

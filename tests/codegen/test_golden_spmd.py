@@ -137,6 +137,11 @@ NODE_WORKLOADS = {
     "fig2_node_vector": lambda: _fig2(SPMDOptions(vectorize=True)),
     "lu_node_scalar": lambda: _lu(SPMDOptions(vectorize=False)),
     "lu_node_vector": lambda: _lu(SPMDOptions(vectorize=True)),
+    # early-put lowering (PR 10): sends become proc.put(...), receives
+    # become fenced window reads -- placement must be IDENTICAL to the
+    # default lowering, only the verbs differ
+    "fig2_node_earlyput": lambda: _fig2(SPMDOptions(early_puts=True)),
+    "lu_node_earlyput": lambda: _lu(SPMDOptions(early_puts=True)),
 }
 
 
@@ -178,6 +183,33 @@ def test_golden_node_program(name):
         f"generated node program for {name} changed; if intended, "
         f"regenerate goldens with PYTHONPATH=src:tests python {__file__}"
     )
+
+
+@pytest.mark.parametrize("name", ["fig2", "lu"])
+def test_early_puts_off_is_zero_overhead(name):
+    """With ``early_puts=False`` (the default), PR 10 must be
+    invisible: the emitted node program and C text are byte-identical
+    to what the pre-PR goldens pin.  The early-put variant differs from
+    its default twin ONLY in communication verbs -- same lines
+    otherwise, so placement provably did not move."""
+    build = {"fig2": _fig2, "lu": _lu}[name]
+    default = render_node(build(SPMDOptions()))
+    with open(
+        os.path.join(GOLDEN_DIR, f"{name}_node_vector.txt")
+    ) as fh:
+        assert default == fh.read()
+    early = render_node(build(SPMDOptions(early_puts=True)))
+    diff = [
+        (d, e)
+        for d, e in zip(default.splitlines(), early.splitlines())
+        if d != e
+    ]
+    assert len(default.splitlines()) == len(early.splitlines())
+    assert diff, "early_puts=True must change the lowering verbs"
+    for d, e in diff:
+        assert d.replace("proc.send(", "proc.put(") == e or \
+            d.replace("'recv'", "'recv_fence'").replace(
+                "'recv_mc'", "'recv_mc_fence'") == e, (d, e)
 
 
 def _regenerate():

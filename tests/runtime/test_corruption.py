@@ -16,7 +16,6 @@ Four guarantees under test:
   when the cost model prices it.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -31,58 +30,43 @@ from repro.runtime import (
     ReliableTransport,
     run_spmd,
 )
-from repro.runtime.analysis import Decomposition, comm_matrix, unmatched_receives
 
-from .trace_workloads import COMBOS, WORKLOADS
+from .trace_workloads import (
+    COMBOS,
+    TRANSPORTS,
+    WORKLOADS,
+    assert_same_arrays,
+    assert_trace_invariants as assert_invariants,
+    compiled_spmd,
+)
 
 BACKENDS = ("threads", "coop", "event")
-
-
-def assert_same_arrays(got, want, label):
-    assert set(got.arrays) == set(want.arrays), label
-    for myp, arrays in want.arrays.items():
-        for name, arr in arrays.items():
-            assert np.array_equal(
-                got.arrays[myp][name], arr, equal_nan=True
-            ), f"{label}: array {name} differs on {myp}"
-
-
-def assert_invariants(result, label):
-    """The fault-compatible PR 5 trace invariants."""
-    trace = result.trace
-    for myp, stats in result.stats.items():
-        deco = Decomposition.from_stats(stats)
-        assert deco.total() == result.clocks[myp], label
-        if result.restarts == 0:
-            assert Decomposition.from_trace(trace, myp) == deco, label
-    matrix = comm_matrix(trace)
-    assert matrix.total_messages == result.total_messages, label
-    assert matrix.total_words == result.total_words, label
-    for myp, stats in result.stats.items():
-        sent = matrix.sent_by(myp)
-        assert sent.messages == stats.messages_sent, label
-        assert sent.words == stats.words_sent, label
-        assert sent.retransmissions == stats.retransmissions, label
-    assert unmatched_receives(trace) == [], label
 
 
 class TestCorruptionRecovery:
     """Reliable transport + checksums: corruption is invisible in the
     final answer, on every workload, backend and vectorization mode."""
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("name", sorted(WORKLOADS))
-    def test_arrays_bit_identical_to_fault_free_oracle(self, name):
-        build, params = WORKLOADS[name]
+    def test_arrays_bit_identical_to_fault_free_oracle(
+        self, name, transport
+    ):
+        """Both full-service transports: on onesided, a corrupted put
+        is verified *before* window commit (the stash) -- the reader
+        can never observe a corrupted word through a fence."""
+        _build, params = WORKLOADS[name]
         plan = FaultPlan(seed=1, corrupt_rate=0.4)
         injected = 0
         messages = 0
         for vec, backend in COMBOS:
-            spmd = build(SPMDOptions(vectorize=vec))
+            spmd = compiled_spmd(name, vectorize=vec)
             oracle = run_spmd(spmd, params, backend=backend)
             messages += oracle.total_messages
             label = f"{name} vectorize={vec} backend={backend}"
             result = run_spmd(
-                spmd, params, backend=backend, fault_plan=plan, trace=True
+                spmd, params, backend=backend, fault_plan=plan,
+                reliability=transport, trace=True,
             )
             assert_same_arrays(result, oracle, label)
             assert_invariants(result, label)
@@ -96,9 +80,9 @@ class TestCorruptionRecovery:
             assert injected > 0, f"{name}: fault plan never fired"
 
     def test_backends_bit_identical_under_corruption(self):
-        build, params = WORKLOADS["pipe"]
+        _build, params = WORKLOADS["pipe"]
         plan = FaultPlan(seed=7, corrupt_rate=0.3)
-        spmd = build(SPMDOptions())
+        spmd = compiled_spmd("pipe")
         runs = {
             backend: run_spmd(
                 spmd, params, backend=backend, fault_plan=plan
@@ -116,8 +100,8 @@ class TestCorruptionDetection:
     """Direct transport: detected, structured, deterministic."""
 
     def test_direct_raises_structured_error_on_both_backends(self):
-        build, params = WORKLOADS["fig2"]
-        spmd = build(SPMDOptions())
+        _build, params = WORKLOADS["fig2"]
+        spmd = compiled_spmd("fig2")
         plan = FaultPlan(corruptions={((1,), (2,), 0): 0})
         errors = []
         for backend in BACKENDS:
@@ -136,8 +120,8 @@ class TestCorruptionDetection:
     def test_unreliable_transport_stays_silent(self):
         """The unreliable transport demonstrates the failure mode:
         corruption is injected but nothing detects it."""
-        build, params = WORKLOADS["fig2"]
-        spmd = build(SPMDOptions())
+        _build, params = WORKLOADS["fig2"]
+        spmd = compiled_spmd("fig2")
         plan = FaultPlan(seed=3, corrupt_rate=0.5)
         result = run_spmd(
             spmd, params, fault_plan=plan, reliability="unreliable"
@@ -151,8 +135,8 @@ _SWEEP = {}
 
 def _sweep_case(name):
     if name not in _SWEEP:
-        build, params = WORKLOADS[name]
-        spmd = build(SPMDOptions())
+        _build, params = WORKLOADS[name]
+        spmd = compiled_spmd(name)
         _SWEEP[name] = (spmd, params, run_spmd(spmd, params, backend="coop"))
     return _SWEEP[name]
 
@@ -173,8 +157,8 @@ class TestCorruptionSweep:
 
 class TestCheckpointDigests:
     def test_corrupted_snapshots_rejected_and_recovery_falls_back(self):
-        build, params = WORKLOADS["fig2"]
-        spmd = build(SPMDOptions())
+        _build, params = WORKLOADS["fig2"]
+        spmd = compiled_spmd("fig2")
         oracle = run_spmd(spmd, params)
         # every post-baseline snapshot is corrupted at rest, so the
         # crash must recover from the baseline cut (ordinal 0, which
@@ -194,8 +178,8 @@ class TestCheckpointDigests:
         assert_same_arrays(result, oracle, "checkpoint fallback")
 
     def test_clean_snapshots_verify(self):
-        build, params = WORKLOADS["fig2"]
-        spmd = build(SPMDOptions())
+        _build, params = WORKLOADS["fig2"]
+        spmd = compiled_spmd("fig2")
         plan = FaultPlan(crashes={(1,): 1500.0}, corrupt_rate=0.1)
         result = run_spmd(
             spmd,
@@ -211,8 +195,8 @@ class TestCheckpointDigests:
 class TestZeroOverhead:
     def test_checksums_free_without_corruption(self):
         for name in ("fig2", "lu"):
-            build, params = WORKLOADS[name]
-            spmd = build(SPMDOptions())
+            _build, params = WORKLOADS[name]
+            spmd = compiled_spmd(name)
             off = run_spmd(spmd, params, trace=True)
             on = run_spmd(spmd, params, trace=True, checksums=True)
             assert on.makespan == off.makespan, name
@@ -222,8 +206,8 @@ class TestZeroOverhead:
             assert_same_arrays(on, off, name)
 
     def test_checksum_time_appears_only_when_priced(self):
-        build, params = WORKLOADS["fig2"]
-        spmd = build(SPMDOptions())
+        _build, params = WORKLOADS["fig2"]
+        spmd = compiled_spmd("fig2")
         cost = CostModel(checksum_word_time=5.0)
         off = run_spmd(spmd, params, cost=cost)
         on = run_spmd(spmd, params, cost=cost, checksums=True)
@@ -245,8 +229,8 @@ class TestZeroOverhead:
 
 class TestAdaptiveRto:
     def _run(self, adaptive):
-        build, params = WORKLOADS["fig2"]
-        spmd = build(SPMDOptions())
+        _build, params = WORKLOADS["fig2"]
+        spmd = compiled_spmd("fig2")
         plan = FaultPlan(seed=5, ack_drop_rate=0.6)
         machine = Machine(
             spmd.program,
@@ -258,8 +242,8 @@ class TestAdaptiveRto:
         return machine, machine.run(spmd.node)
 
     def test_both_modes_recover_exactly(self):
-        build, params = WORKLOADS["fig2"]
-        spmd = build(SPMDOptions())
+        _build, params = WORKLOADS["fig2"]
+        spmd = compiled_spmd("fig2")
         oracle = run_spmd(spmd, params)
         for adaptive in (False, True):
             machine, result = self._run(adaptive)

@@ -84,13 +84,8 @@ def pipe_spmd():
 FIG2_PARAMS = {"N": 70, "T": 2, "P": 3}
 
 
-def same_arrays(a, b) -> bool:
-    return all(
-        np.array_equal(a.arrays[myp][name], b.arrays[myp][name],
-                       equal_nan=True)
-        for myp in a.arrays
-        for name in a.arrays[myp]
-    )
+# shared bit-exactness oracle from the unified conformance matrix
+from tests.runtime.trace_workloads import same_arrays  # noqa: E402
 
 
 class TestScheduledCrash:

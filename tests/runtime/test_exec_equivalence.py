@@ -1,157 +1,49 @@
-"""Execution-engine equivalence: every backend x codegen mode must be
-*exactly* the machine the paper's experiments ran on.
+"""Execution-engine equivalence: every backend x codegen mode x
+transport must be *exactly* the machine the paper's experiments ran on.
 
 The vectorized emitter (numpy block operations with closed-form cost
 charging) and the cooperative scheduler (coroutines in virtual-time
-order) are performance features only: for every workload they must
-produce bit-identical final arrays, an equal makespan, and identical
+order) are performance features only: for every workload of the
+unified conformance matrix (``trace_workloads``) they must produce
+bit-identical final arrays, an equal makespan, and identical
 per-processor ``ProcStats`` compared to the shipped scalar+threads
-configuration.  Any drift -- a clock charged in a different order, a
-skipped guard, a payload copied differently -- fails here.
+configuration.  The one-sided transport rides the same matrix: it must
+match the reliable transport's arrays, clocks and makespan exactly
+(its ``ProcStats`` additionally count puts/gets/fences, so the
+cross-transport oracle is arrays + clocks, not stats equality).  Any
+drift -- a clock charged in a different order, a skipped guard, a
+payload copied differently -- fails here.
 """
 
 import time
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codegen import SPMDOptions, generate_spmd
-from repro.decomp import block, block_loop, onto
+from repro.decomp import block, block_loop
 from repro.lang import parse
-from repro.polyhedra import var
 from repro.runtime import DeadlockError, Machine, run_spmd
 
-FIG2_SRC = """
-array X[N + 1]
-assume N >= 3
-assume T >= 0
-for t = 0 to T do
-  for i = 3 to N do
-    X[i] = X[i - 3]
-"""
-
-FIG8_SRC = """
-array X[N + 1]
-assume N >= 3
-assume T >= 0
-for t = 0 to T do
-  for i = 3 to N do
-    X[i] = f(X[i], X[i - 1], X[i - 2], X[i - 3])
-"""
-
-LU_SRC = """
-array X[N + 1][N + 1]
-assume N >= 1
-for i1 = 0 to N do
-  for i2 = i1 + 1 to N do
-    s1: X[i2][i1] = X[i2][i1] / X[i1][i1]
-    for i3 = i1 + 1 to N do
-      s2: X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3]
-"""
-
-PIPE_SRC = """
-array X[N + 1]
-array Y[N + 1]
-assume N >= 2
-for i = 0 to N do
-  s1: X[i] = i + 1
-for j = 1 to N do
-  s2: Y[j] = Y[j] + X[j - 1]
-"""
-
-STENCIL_SRC = """
-array A[N + 2]
-array B[N + 2]
-assume N >= 1
-for t = 1 to T do
-  for i = 1 to N do
-    B[i] = (A[i - 1] + A[i] + A[i + 1]) / 3
-"""
+from .trace_workloads import (
+    COMBOS,
+    FIG2_SRC,
+    STENCIL_SRC,
+    TRANSPORTS,
+    WORKLOADS,
+    assert_identical_runs,
+    assert_same_arrays,
+    compiled_spmd,
+)
 
 
-def _fig2(options):
-    program = parse(FIG2_SRC, name="figure2")
-    stmt = program.statements()[0]
-    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
-    return generate_spmd(program, comps, options=options)
-
-
-def _fig8(options):
-    program = parse(FIG8_SRC, name="figure8")
-    stmt = program.statements()[0]
-    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
-    return generate_spmd(program, comps, options=options)
-
-
-def _lu(options):
-    program = parse(LU_SRC, name="lu")
-    comps = {"s1": onto(program.statement("s1"), [var("i2")])}
-    comps["s2"] = onto(
-        program.statement("s2"), [var("i2")], space=comps["s1"].space
-    )
-    return generate_spmd(program, comps, options=options)
-
-
-def _pipe(options):
-    program = parse(PIPE_SRC, name="pipe")
-    s1 = program.statement("s1")
-    s2 = program.statement("s2")
-    comps = {"s1": block_loop(s1, ["i"], [16])}
-    comps["s2"] = block_loop(s2, ["j"], [16], space=comps["s1"].space)
-    return generate_spmd(program, comps, options=options)
-
-
-def _stencil(options):
-    program = parse(STENCIL_SRC, name="stencil")
-    stmt = program.statements()[0]
-    comps = {stmt.name: block_loop(stmt, ["i"], [16])}
-    return generate_spmd(program, comps, options=options)
-
-
-WORKLOADS = {
-    "fig2": (_fig2, {"N": 70, "T": 2, "P": 3}),
-    "fig8": (_fig8, {"N": 70, "T": 2, "P": 3}),
-    "lu": (_lu, {"N": 24, "P": 3}),
-    "pipe": (_pipe, {"N": 44, "P": 2}),
-    "stencil": (_stencil, {"N": 64, "T": 3, "P": 2}),
-}
-
-COMBOS = [
-    (vec, backend)
-    for vec in (False, True)
-    for backend in ("threads", "coop", "event")
-]
-
-
-def assert_identical_runs(base, other, label=""):
-    assert other.makespan == base.makespan, (
-        f"{label}: makespan {other.makespan} != {base.makespan}"
-    )
-    for myp in base.arrays:
-        for name in base.arrays[myp]:
-            assert np.array_equal(
-                other.arrays[myp][name],
-                base.arrays[myp][name],
-                equal_nan=True,
-            ), f"{label}: array {name} differs on processor {myp}"
-    assert set(other.stats) == set(base.stats)
-    for myp in base.stats:
-        assert other.stats[myp] == base.stats[myp], (
-            f"{label}: ProcStats differ on processor {myp}:\n"
-            f"  base:  {base.stats[myp]}\n"
-            f"  other: {other.stats[myp]}"
-        )
-
-
-def sweep(build, params):
-    compiled = {
-        vec: build(SPMDOptions(vectorize=vec)) for vec in (False, True)
-    }
+def sweep(name, params):
     base = None
     for vec, backend in COMBOS:
-        result = run_spmd(compiled[vec], params, backend=backend)
+        result = run_spmd(
+            compiled_spmd(name, vectorize=vec), params, backend=backend
+        )
         if base is None:
             base = result
         else:
@@ -164,16 +56,34 @@ def sweep(build, params):
 class TestBackendEquivalence:
     @pytest.mark.parametrize("name", sorted(WORKLOADS))
     def test_bit_identical_across_combos(self, name):
-        build, params = WORKLOADS[name]
-        sweep(build, params)
+        _build, params = WORKLOADS[name]
+        sweep(name, params)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_transports_bit_identical(self, name):
+        """reliable vs onesided, with and without early-put codegen:
+        same arrays, same per-rank finish clocks, same makespan."""
+        _build, params = WORKLOADS[name]
+        for early in (False, True):
+            spmd = compiled_spmd(name, early_puts=early)
+            runs = {
+                tr: run_spmd(spmd, params, reliability=tr, backend="coop")
+                for tr in TRANSPORTS
+            }
+            base = runs["reliable"]
+            for tr, result in runs.items():
+                label = f"{name} early_puts={early} transport={tr}"
+                assert result.makespan == base.makespan, label
+                assert result.clocks == base.clocks, label
+                assert_same_arrays(result, base, label)
 
     def test_vectorized_lu_actually_vectorizes(self):
         """Guard against the sweep silently degenerating: LU must
         compile to block execution, and fig2's self-dependent compute
         must not (distance-3 RAW makes gather-before-scatter wrong)."""
-        lu = _lu(SPMDOptions(vectorize=True))
+        lu = compiled_spmd("lu", vectorize=True)
         assert "proc.execute_block(" in lu.source
-        fig2 = _fig2(SPMDOptions(vectorize=True))
+        fig2 = compiled_spmd("fig2", vectorize=True)
         compute_lines = [
             ln for ln in fig2.source.splitlines() if "execute" in ln
         ]

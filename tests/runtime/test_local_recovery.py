@@ -30,8 +30,8 @@ from tests.runtime.test_crash_recovery import (
     fig2_spmd,
     lu_spmd,
     pipe_spmd,
-    same_arrays,
 )
+from tests.runtime.trace_workloads import same_arrays
 
 BACKENDS = ("threads", "coop", "event")
 

@@ -1,14 +1,18 @@
-"""Cross-backend trace conformance (ISSUE 5 satellite 1).
+"""Cross-backend and cross-transport trace conformance.
 
 The trace is only worth anything if it is a property of the *program
 on the modeled machine*, not of the engine that happened to execute
 it.  These tests pin that down: for every paper workload, the
 normalized event trace is **equal** between the threads and coop
 backends (at fixed codegen mode), and the communication-event subset
-is equal across all four backend x vectorize combinations (vectorizing
+is equal across all backend x vectorize combinations (vectorizing
 merges compute events but must never change what is communicated or
-when).  A hypothesis sweep extends the guarantee to random fault-free
-pipelines.
+when).  The one-sided transport joins the same matrix: for every
+``(workload, vectorize, backend)`` row, with and without early-put
+codegen, and with fences *priced* (nonzero ``fence_time``), the
+onesided run's arrays AND canonicalized normalized trace are
+bit-identical to the reliable run's.  A hypothesis sweep extends the
+backend guarantee to random fault-free pipelines.
 """
 
 import pytest
@@ -18,9 +22,19 @@ from hypothesis import strategies as st
 from repro.codegen import SPMDOptions, generate_spmd
 from repro.decomp import block, block_loop
 from repro.lang import parse
-from repro.runtime import run_spmd
+from repro.runtime import CostModel, run_spmd
 
-from .trace_workloads import COMBOS, COMM_KINDS, WORKLOADS, compiled
+from .trace_workloads import (
+    COMBOS,
+    COMM_KINDS,
+    GRID,
+    TRANSPORTS,
+    WORKLOADS,
+    assert_same_arrays,
+    canonical_trace,
+    compiled,
+    compiled_spmd,
+)
 
 
 def traced(spmd, params, backend, **kw):
@@ -85,6 +99,91 @@ class TestBackendConformance:
         assert sum(e.duration for e in v_events) == sum(
             e.duration for e in s_events
         )
+
+
+#: fences are deliberately priced *differently* from receive overhead
+#: so conformance cannot pass by accident: a fenced receive charging
+#: recv_overhead (or an unfenced one charging fence_time) shifts every
+#: downstream clock and fails the trace comparison
+_FENCED_COST = CostModel(fence_time=37.0)
+
+
+class TestOneSidedConformance:
+    """PR 10 acceptance: the unified matrix, onesided vs reliable."""
+
+    @pytest.mark.parametrize("name,vec,backend", GRID)
+    def test_onesided_matches_reliable_bit_for_bit(
+        self, name, vec, backend
+    ):
+        _build, params = WORKLOADS[name]
+        for early in (False, True):
+            spmd = compiled_spmd(name, vectorize=vec, early_puts=early)
+            runs = {
+                tr: run_spmd(
+                    spmd, params, cost=_FENCED_COST, reliability=tr,
+                    backend=backend, trace=True,
+                )
+                for tr in TRANSPORTS
+            }
+            base = runs["reliable"]
+            other = runs["onesided"]
+            label = f"{name} vec={vec} {backend} early_puts={early}"
+            assert other.makespan == base.makespan, label
+            assert other.clocks == base.clocks, label
+            assert_same_arrays(other, base, label)
+            assert canonical_trace(other.trace) == canonical_trace(
+                base.trace
+            ), f"{label}: canonicalized traces diverge"
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_put_events_appear_exactly_on_onesided(self, name):
+        """The canonicalization isn't vacuous: onesided runs trace
+        ``put``/``get``/``fence-wait`` where reliable traces
+        ``send``/``unpack``/``recv-wait`` -- counts must correspond."""
+        _build, params = WORKLOADS[name]
+        spmd = compiled_spmd(name, early_puts=True)
+        rel = run_spmd(
+            spmd, params, reliability="reliable", backend="coop",
+            trace=True,
+        )
+        one = run_spmd(
+            spmd, params, reliability="onesided", backend="coop",
+            trace=True,
+        )
+        rc, oc = rel.trace.counts(), one.trace.counts()
+        assert oc.get("put", 0) == rc.get("send", 0)
+        assert oc.get("send", 0) == 0
+        # fenced receives mark fence-wait/get on BOTH transports (the
+        # program decides the discipline; the transport only renames
+        # the transmission verb)
+        assert oc.get("fence-wait", 0) == rc.get("fence-wait", 0)
+        assert oc.get("get", 0) == rc.get("get", 0)
+        if rc.get("send", 0):
+            assert oc.get("put", 0) > 0
+
+    def test_fence_pricing_lands_in_the_fence_bucket(self):
+        """With fence_time priced, early-put runs book fence_time (not
+        recv_overhead) for their fenced receives, the decomposition
+        still sums to each finish clock, and stats agree with trace."""
+        from repro.runtime.analysis import Decomposition
+
+        _build, params = WORKLOADS["fig2"]
+        spmd = compiled_spmd("fig2", early_puts=True)
+        result = run_spmd(
+            spmd, params, cost=_FENCED_COST, reliability="onesided",
+            backend="coop", trace=True,
+        )
+        fences = result.stat_sum("fences")
+        assert fences > 0
+        assert result.stat_sum("fence_time") == pytest.approx(
+            fences * _FENCED_COST.fence_time
+        )
+        for myp, stats in result.stats.items():
+            deco = Decomposition.from_stats(stats)
+            assert deco.total() == result.clocks[myp]
+            assert Decomposition.from_trace(result.trace, myp) == deco
+            if stats.fences:
+                assert deco.fence > 0
 
 
 @st.composite

@@ -10,7 +10,6 @@ arrays still match the crash-free oracle.
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.codegen import SPMDOptions
@@ -22,16 +21,13 @@ from repro.runtime import (
     run_spmd,
 )
 
-from .trace_workloads import WORKLOADS, compiled
-
-
-def same_arrays(a, b) -> bool:
-    return all(
-        np.array_equal(a.arrays[myp][name], b.arrays[myp][name],
-                       equal_nan=True)
-        for myp in a.arrays
-        for name in a.arrays[myp]
-    )
+from .trace_workloads import (
+    WORKLOADS,
+    canonical_trace,
+    compiled,
+    compiled_spmd,
+    same_arrays,
+)
 
 
 class TestLossyNetworkTraces:
@@ -71,6 +67,35 @@ class TestLossyNetworkTraces:
         assert matrix.total_retransmissions == result.stat_sum(
             "retransmissions"
         )
+
+    @pytest.mark.parametrize("name", ["fig2", "lu"])
+    def test_onesided_arq_recovery_matches_reliable(self, name):
+        """The window path inherits the full ARQ: under the same lossy
+        plan, onesided retransmits/timeouts/dedups exactly like
+        reliable, lands the oracle arrays, and its canonicalized trace
+        (put -> send) is bit-identical -- retransmissions keep their
+        two-sided verb on both transports."""
+        _build, params = WORKLOADS[name]
+        spmd = compiled_spmd(name)
+        plan = FaultPlan(**self.PLAN)
+        rel = run_spmd(
+            spmd, params, fault_plan=plan, reliability="reliable",
+            backend="coop", trace=True,
+        )
+        one = run_spmd(
+            spmd, params, fault_plan=plan, reliability="onesided",
+            backend="coop", trace=True,
+        )
+        assert same_arrays(rel, one)
+        assert one.makespan == rel.makespan
+        for field in ("retransmissions", "acks_lost",
+                      "duplicates_dropped", "timeout_time"):
+            assert one.stat_sum(field) == rel.stat_sum(field), field
+        assert one.stat_sum("retransmissions") > 0
+        assert canonical_trace(one.trace) == canonical_trace(rel.trace)
+        counts = one.trace.counts()
+        assert counts.get("retransmit", 0) > 0
+        assert counts.get("send", 0) == 0  # first attempts are puts
 
     def test_lossy_traces_identical_across_backends(self):
         build, params = WORKLOADS["fig2"]

@@ -1,17 +1,42 @@
-"""Shared workload builders for the tracing test suites.
+"""The unified conformance matrix: workloads, axes and oracle helpers.
 
-Mirrors the programs and decompositions of
-``tests/runtime/test_exec_equivalence.py`` (and
-``benchmarks/workloads.py``): the tracing suites must exercise exactly
-the machine configurations whose bit-identical execution is already
-pinned down, so any trace divergence is attributable to the tracing
-subsystem alone.
+One module owns the grid every conformance suite sweeps --
+``(workload, vectorize, backend, transport)`` -- plus the shared
+oracle/invariant assertions, so the execution-equivalence, trace,
+fault, corruption and local-recovery suites all check the *same*
+machine configurations and any divergence is attributable to the
+subsystem a suite isolates (and benchmarks/workloads.py mirrors the
+same programs).
+
+Axes:
+
+* ``WORKLOADS`` -- the five paper workloads with pinned parameters;
+* ``COMBOS`` -- {scalar, vector} x {threads, coop, event};
+* ``TRANSPORTS`` -- the two full-service transports, ``reliable``
+  (two-sided ARQ) and ``onesided`` (PGAS windows over the same ARQ);
+  they must be bit-exact with each other, which is what
+  :func:`canonical_trace` makes comparable (a one-sided first
+  transmission is traced as ``put`` where two-sided says ``send``).
+
+Helpers: :func:`compiled_spmd` caches compilations across suites
+(keyed by workload x vectorize x early_puts), :func:`same_arrays` /
+:func:`assert_same_arrays` / :func:`assert_identical_runs` are the
+bit-exactness oracles, and :func:`assert_trace_invariants` bundles the
+PR 5 accounting identities (decomposition sums to the finish clock,
+comm matrix reconciles with ProcStats, no unmatched receives).
 """
+
+import numpy as np
 
 from repro.codegen import SPMDOptions, generate_spmd
 from repro.decomp import block_loop, onto
 from repro.lang import parse
 from repro.polyhedra import var
+from repro.runtime.analysis import (
+    Decomposition,
+    comm_matrix,
+    unmatched_receives,
+)
 
 FIG2_SRC = """
 array X[N + 1]
@@ -117,19 +142,34 @@ COMBOS = [
     for backend in ("threads", "coop", "event")
 ]
 
+#: the full-service transports that must agree bit for bit (PR 10);
+#: ``direct`` and ``unreliable`` are deliberately absent -- one prices
+#: no reliability machinery, the other provides none
+TRANSPORTS = ("reliable", "onesided")
+
+#: the full conformance grid: one row per machine configuration
+GRID = [
+    (name, vec, backend)
+    for name in sorted(WORKLOADS)
+    for vec, backend in COMBOS
+]
+
 #: communication-event kinds: invariant not just across backends but
 #: across scalar/vectorized codegen too (vectorization only merges
 #: compute events; it must never change what is communicated or when)
 COMM_KINDS = (
     "pack",
     "send",
+    "put",
     "multicast",
     "retransmit",
     "timeout",
     "ack-lost",
     "recv-wait",
+    "fence-wait",
     "recv-complete",
     "unpack",
+    "get",
     "mc-hit",
 )
 
@@ -139,3 +179,89 @@ def compiled(build):
     return {
         vec: build(SPMDOptions(vectorize=vec)) for vec in (False, True)
     }
+
+
+_COMPILED = {}
+
+
+def compiled_spmd(name, vectorize=False, early_puts=False):
+    """A cached compile of workload ``name`` -- the suites sweep the
+    same few programs hundreds of times, so share the artifacts."""
+    key = (name, vectorize, early_puts)
+    if key not in _COMPILED:
+        build, _params = WORKLOADS[name]
+        _COMPILED[key] = build(
+            SPMDOptions(vectorize=vectorize, early_puts=early_puts)
+        )
+    return _COMPILED[key]
+
+
+def canonical_trace(trace, kinds=None):
+    """Normalized trace rows with transport-specific verbs canonicalized.
+
+    A first transmission is traced as ``put`` on the one-sided
+    transport and ``send`` on two-sided ones; every other field of the
+    event (span, charge, tag, peer, words, seq) is identical by
+    construction.  Mapping ``put`` back to ``send`` makes onesided and
+    reliable traces directly comparable -- any *other* difference is a
+    real conformance violation.
+    """
+    rows = [
+        row[:3] + ("send" if row[3] == "put" else row[3],) + row[4:]
+        for row in trace.normalized(kinds)
+    ]
+    rows.sort()
+    return rows
+
+
+def same_arrays(a, b) -> bool:
+    """Bit-exact final-array comparison between two RunResults."""
+    return all(
+        np.array_equal(a.arrays[myp][name], b.arrays[myp][name],
+                       equal_nan=True)
+        for myp in a.arrays
+        for name in a.arrays[myp]
+    )
+
+
+def assert_same_arrays(got, want, label=""):
+    assert set(got.arrays) == set(want.arrays), label
+    for myp, arrays in want.arrays.items():
+        for name, arr in arrays.items():
+            assert np.array_equal(
+                got.arrays[myp][name], arr, equal_nan=True
+            ), f"{label}: array {name} differs on processor {myp}"
+
+
+def assert_identical_runs(base, other, label=""):
+    """The strong oracle: same makespan, arrays and per-proc stats."""
+    assert other.makespan == base.makespan, (
+        f"{label}: makespan {other.makespan} != {base.makespan}"
+    )
+    assert_same_arrays(other, base, label)
+    assert set(other.stats) == set(base.stats)
+    for myp in base.stats:
+        assert other.stats[myp] == base.stats[myp], (
+            f"{label}: ProcStats differ on processor {myp}:\n"
+            f"  base:  {base.stats[myp]}\n"
+            f"  other: {other.stats[myp]}"
+        )
+
+
+def assert_trace_invariants(result, label=""):
+    """The fault-compatible PR 5 accounting identities."""
+    trace = result.trace
+    for myp, stats in result.stats.items():
+        deco = Decomposition.from_stats(stats)
+        assert deco.total() == result.clocks[myp], label
+        if result.restarts == 0:
+            assert Decomposition.from_trace(trace, myp) == deco, label
+    matrix = comm_matrix(trace)
+    assert matrix.total_messages == result.total_messages, label
+    assert matrix.total_words == result.total_words, label
+    for myp, stats in result.stats.items():
+        sent = matrix.sent_by(myp)
+        assert sent.messages == stats.messages_sent, label
+        assert sent.words == stats.words_sent, label
+        assert sent.retransmissions == stats.retransmissions, label
+    assert unmatched_receives(trace) == [], label
